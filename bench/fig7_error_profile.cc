@@ -1,0 +1,122 @@
+// Experiment E5 — Figure 7: where along the sorted NetTrace sequence does
+// inference help?
+//
+// The paper plots S(I) (sorted descending) together with the average
+// error of S-bar at each position (200 draws, eps = 1.0) against the
+// constant expected error of S~ (= 2/eps^2). The profile shows large
+// error where counts are unique (the head), error collapsing to ~0 in the
+// middle of long uniform runs, and residual error at run boundaries.
+// We reproduce the same profile and report it as run-position aggregates
+// (the 65K-point curve itself is written to CSV with --csv=PATH).
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/flags.h"
+#include "common/statistics.h"
+#include "data/csv.h"
+#include "data/nettrace.h"
+#include "experiments/report.h"
+#include "experiments/runner.h"
+
+using namespace dphist;  // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const double epsilon = flags.GetDouble("epsilon", 1.0);
+  const std::int64_t trials = flags.GetInt("trials", 200, "DPHIST_TRIALS");
+  std::int64_t scale = flags.GetInt("scale", 1, "DPHIST_SCALE");
+  std::string csv_path = flags.GetString("csv", "");
+
+  NetTraceConfig nettrace;
+  nettrace.num_hosts = 65536 / scale;
+  nettrace.num_connections = 300000 / scale;
+  Histogram data = GenerateNetTrace(nettrace);
+
+  PrintBanner(std::cout, "Figure 7: per-position error of S-bar vs S~");
+  std::printf("NetTrace n=%lld, eps=%s, %lld trials\n\n",
+              static_cast<long long>(data.size()),
+              FormatFixed(epsilon).c_str(), static_cast<long long>(trials));
+
+  ErrorProfile profile = RunErrorProfile(data, epsilon, trials, 7);
+  const std::size_t n = profile.true_sorted_descending.size();
+
+  // Aggregate by uniform runs of the true sequence: head (unique counts)
+  // vs run interiors vs run boundaries.
+  RunningStat head_err, interior_err, boundary_err;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && profile.true_sorted_descending[j + 1] ==
+                            profile.true_sorted_descending[i]) {
+      ++j;
+    }
+    std::size_t run = j - i + 1;
+    for (std::size_t p = i; p <= j; ++p) {
+      if (run <= 3) {
+        head_err.Add(profile.sbar_error[p]);
+      } else if (p == i || p == j) {
+        boundary_err.Add(profile.sbar_error[p]);
+      } else {
+        interior_err.Add(profile.sbar_error[p]);
+      }
+    }
+    i = j + 1;
+  }
+
+  TablePrinter table({"segment", "positions", "mean S-bar error",
+                      "S~ error (const)"});
+  table.AddRow({"unique/short runs (<=3)", std::to_string(head_err.count()),
+                FormatScientific(head_err.Mean()),
+                FormatFixed(profile.stilde_error)});
+  table.AddRow({"run boundaries", std::to_string(boundary_err.count()),
+                FormatScientific(boundary_err.Mean()),
+                FormatFixed(profile.stilde_error)});
+  table.AddRow({"run interiors", std::to_string(interior_err.count()),
+                FormatScientific(interior_err.Mean()),
+                FormatFixed(profile.stilde_error)});
+  table.Print(std::cout);
+
+  // Decile view of the whole profile (descending rank order).
+  PrintBanner(std::cout, "decile profile (descending sorted order)");
+  TablePrinter deciles({"decile", "mean true count", "mean S-bar error"});
+  for (int d = 0; d < 10; ++d) {
+    std::size_t lo = n * static_cast<std::size_t>(d) / 10;
+    std::size_t hi = n * static_cast<std::size_t>(d + 1) / 10;
+    RunningStat count_stat, err_stat;
+    for (std::size_t p = lo; p < hi; ++p) {
+      count_stat.Add(profile.true_sorted_descending[p]);
+      err_stat.Add(profile.sbar_error[p]);
+    }
+    deciles.AddRow({std::to_string(d + 1), FormatFixed(count_stat.Mean()),
+                    FormatScientific(err_stat.Mean())});
+  }
+  deciles.Print(std::cout);
+
+  if (!csv_path.empty()) {
+    for (std::size_t p = 0; p < n; ++p) {
+      (void)AppendCsvRow(
+          csv_path, "index,true_count,sbar_error,stilde_error",
+          {std::to_string(p),
+           FormatFixed(profile.true_sorted_descending[p]),
+           FormatScientific(profile.sbar_error[p]),
+           FormatFixed(profile.stilde_error)});
+    }
+    std::printf("\nfull profile written to %s\n", csv_path.c_str());
+  }
+
+  PrintBanner(std::cout, "paper-vs-measured");
+  std::printf(
+      "  paper: error reduced to ~zero inside uniform runs, residual "
+      "error at run boundaries, S~-level error at unique counts\n");
+  std::printf(
+      "  measured: interiors %s (vs S~ %s), boundaries %s, unique %s\n",
+      FormatScientific(interior_err.Mean()).c_str(),
+      FormatFixed(profile.stilde_error).c_str(),
+      FormatScientific(boundary_err.Mean()).c_str(),
+      FormatScientific(head_err.Mean()).c_str());
+  std::printf("  interiors << S~: %s\n",
+              interior_err.Mean() < 0.2 * profile.stilde_error ? "YES" : "NO");
+  return 0;
+}

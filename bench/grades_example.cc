@@ -1,0 +1,151 @@
+// Experiment E9 — the introduction's student-grades example.
+//
+// An analyst needs x_t (total), x_p (passing), and the per-grade counts
+// x_A..x_F. Two strategies:
+//   (1) sensitivity-1: ask only the five grades, derive x_p and x_t by
+//       summation — accurate grades, noisy totals (noise accumulates);
+//   (2) sensitivity-3: ask all seven queries (3x the noise per answer),
+//       then resolve the inconsistencies by constrained inference.
+// The paper's point: with inference, strategy (2) can beat (1) on the
+// aggregates while staying consistent — the extra noise conventional DP
+// adds "provides no quantifiable gain in privacy but does have a
+// significant cost in accuracy".
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/laplace.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "experiments/report.h"
+#include "inference/constrained_ls.h"
+
+using namespace dphist;  // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const double eps = flags.GetDouble("epsilon", 1.0);
+  const std::int64_t trials = flags.GetInt("trials", 20000, "DPHIST_TRIALS");
+
+  // Ground truth: 200 students.
+  // Layout: 0: x_t, 1: x_p, 2..5: x_A..x_D, 6: x_F.
+  const std::vector<double> truth = {200, 170, 60, 55, 35, 20, 30};
+
+  ConstraintSystem constraints(7);
+  constraints.AddSumConstraint(0, {1, 6});        // x_t = x_p + x_F
+  constraints.AddSumConstraint(1, {2, 3, 4, 5});  // x_p = A + B + C + D
+
+  Rng rng(3);
+  LaplaceDistribution grade_noise(1.0 / eps);  // strategy 1: sensitivity 1
+  LaplaceDistribution full_noise(3.0 / eps);   // strategy 2: sensitivity 3
+
+  // Per-component squared errors.
+  std::vector<RunningStat> s1(7), s2(7), s2inf(7);
+  RunningStat s2_violation;
+  for (std::int64_t t = 0; t < trials; ++t) {
+    // Strategy 1: noisy grades, totals derived by summation.
+    std::vector<double> grades(5);
+    for (int g = 0; g < 5; ++g) {
+      grades[g] = truth[2 + g] + grade_noise.Sample(&rng);
+    }
+    double passing = grades[0] + grades[1] + grades[2] + grades[3];
+    double total = passing + grades[4];
+    std::vector<double> answer1 = {total,     passing,  grades[0], grades[1],
+                                   grades[2], grades[3], grades[4]};
+
+    // Strategy 2: all seven queries with sensitivity-3 noise.
+    std::vector<double> answer2(7);
+    for (int i = 0; i < 7; ++i) {
+      answer2[i] = truth[i] + full_noise.Sample(&rng);
+    }
+    s2_violation.Add(constraints.MaxViolation(answer2));
+    auto inferred = ConstrainedLeastSquares(constraints, answer2);
+
+    for (int i = 0; i < 7; ++i) {
+      double d1 = answer1[i] - truth[i];
+      double d2 = answer2[i] - truth[i];
+      double d3 = inferred.value()[i] - truth[i];
+      s1[i].Add(d1 * d1);
+      s2[i].Add(d2 * d2);
+      s2inf[i].Add(d3 * d3);
+    }
+  }
+
+  PrintBanner(std::cout, "Section 1: the student-grades example");
+  std::printf("eps=%s, %lld trials\n\n", FormatFixed(eps).c_str(),
+              static_cast<long long>(trials));
+  const char* names[7] = {"x_t", "x_p", "x_A", "x_B", "x_C", "x_D", "x_F"};
+  TablePrinter table({"query", "strategy 1 (sens 1 + sum)",
+                      "strategy 2 (sens 3, raw)",
+                      "strategy 2 + inference"});
+  double total1 = 0.0, total2 = 0.0, total3 = 0.0;
+  for (int i = 0; i < 7; ++i) {
+    table.AddRow({names[i], FormatFixed(s1[i].Mean()),
+                  FormatFixed(s2[i].Mean()), FormatFixed(s2inf[i].Mean())});
+    total1 += s1[i].Mean();
+    total2 += s2[i].Mean();
+    total3 += s2inf[i].Mean();
+  }
+  table.AddRow({"TOTAL", FormatFixed(total1), FormatFixed(total2),
+                FormatFixed(total3)});
+  table.Print(std::cout);
+
+  PrintBanner(std::cout, "paper-vs-measured");
+  std::printf("  mean constraint violation of raw strategy-2 answers: %s "
+              "(inconsistency is the norm)\n",
+              FormatFixed(s2_violation.Mean()).c_str());
+  std::printf("  inference cuts strategy 2's total error by %s "
+              "(theory: keeps 5/7 = %.3f of the noise)\n",
+              FormatRatio(total2 / total3).c_str(), 5.0 / 7.0);
+  std::printf("  strategy 2 + inference beats strategy 1 on x_t: %s "
+              "(%.1f vs %.1f)\n",
+              s2inf[0].Mean() < s1[0].Mean() ? "YES" : "NO",
+              s2inf[0].Mean(), s1[0].Mean());
+  std::printf("  strategy 1 stays better for individual grades: %s\n",
+              s1[2].Mean() < s2inf[2].Mean() ? "YES" : "NO");
+
+  // The intro's "can be superior in many cases" is a function of how many
+  // unit counts the derived total sums over: strategy 1's x_t error grows
+  // linearly with the number of grade buckets G (noise accumulates under
+  // summation) while strategy 2's stays flat (sensitivity is 3 regardless
+  // of G). Sweep G to find the crossover — the same force that makes the
+  // hierarchical H query win at large ranges.
+  PrintBanner(std::cout,
+              "sweep: x_t error vs number of grade buckets G");
+  TablePrinter sweep({"G", "strategy 1 (sum of G)", "strategy 2 + inference",
+                      "winner"});
+  std::int64_t crossover = -1;
+  for (int g = 4; g <= 24; g += 2) {
+    // Analytic strategy-1 error: G unit counts, each Lap(1/eps):
+    // var = 2G/eps^2. Strategy 2 + inference: project the (G+2)-vector.
+    double strategy1 = 2.0 * g / (eps * eps);
+    // Monte Carlo the projection (constraints depend on G).
+    ConstraintSystem cs(g + 2);
+    std::vector<std::int64_t> passing;
+    for (int i = 2; i < g + 1; ++i) passing.push_back(i);
+    cs.AddSumConstraint(0, {1, g + 1});  // x_t = x_p + x_F
+    cs.AddSumConstraint(1, passing);     // x_p = sum of passing grades
+    LaplaceDistribution noise(3.0 / eps);
+    RunningStat err;
+    Rng sweep_rng(static_cast<std::uint64_t>(g));
+    for (int t = 0; t < 4000; ++t) {
+      std::vector<double> noisy(static_cast<std::size_t>(g + 2), 0.0);
+      for (double& x : noisy) x = noise.Sample(&sweep_rng);
+      auto inferred = ConstrainedLeastSquares(cs, noisy);
+      err.Add(inferred.value()[0] * inferred.value()[0]);
+    }
+    bool strategy2_wins = err.Mean() < strategy1;
+    if (strategy2_wins && crossover < 0) crossover = g;
+    sweep.AddRow({std::to_string(g), FormatFixed(strategy1),
+                  FormatFixed(err.Mean()),
+                  strategy2_wins ? "constrained inference" : "summation"});
+  }
+  sweep.Print(std::cout);
+  std::printf(
+      "  paper: \"strategies inspired by the second alternative can be "
+      "superior in many cases\"\n  measured: constrained inference wins "
+      "once G >= %lld buckets\n",
+      static_cast<long long>(crossover));
+  return 0;
+}

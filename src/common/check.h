@@ -1,0 +1,48 @@
+// Precondition checking for programming errors.
+//
+// DPHIST_CHECK is always on (release included): the cost is negligible next
+// to the numeric work this library does, and silent contract violations in a
+// privacy library are worse than an abort. DPHIST_DCHECK compiles out in
+// NDEBUG builds and is for hot inner loops only.
+
+#ifndef DPHIST_COMMON_CHECK_H_
+#define DPHIST_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dphist::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "dphist check failed at %s:%d: %s%s%s\n", file, line,
+               expr, (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace dphist::internal
+
+#define DPHIST_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::dphist::internal::CheckFailed(__FILE__, __LINE__, #expr, "");   \
+    }                                                                   \
+  } while (0)
+
+#define DPHIST_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::dphist::internal::CheckFailed(__FILE__, __LINE__, #expr, msg);  \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define DPHIST_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define DPHIST_DCHECK(expr) DPHIST_CHECK(expr)
+#endif
+
+#endif  // DPHIST_COMMON_CHECK_H_

@@ -1,0 +1,59 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Supports --name=value and --name value forms plus boolean --name.
+// Unrecognized flags are reported; positional arguments are collected.
+// Values can also be supplied through environment variables (used by the
+// bench suite so `DPHIST_TRIALS=50 ./bench_...` restores the paper's full
+// protocol without editing commands).
+
+#ifndef DPHIST_COMMON_FLAGS_H_
+#define DPHIST_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dphist {
+
+/// Parsed command line: flag key/value pairs plus positional arguments.
+class Flags {
+ public:
+  /// Parses argv. Flags look like --key=value, --key value, or --key.
+  static Flags Parse(int argc, const char* const* argv);
+
+  /// True if the flag was supplied (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// String value of the flag, or `fallback` if absent. If the flag is
+  /// absent, the environment variable `env` (when non-empty) is consulted
+  /// before the fallback.
+  std::string GetString(const std::string& name, const std::string& fallback,
+                        const std::string& env = "") const;
+
+  /// Integer value of the flag with env-var and fallback handling as above.
+  std::int64_t GetInt(const std::string& name, std::int64_t fallback,
+                      const std::string& env = "") const;
+
+  /// Double value of the flag with env-var and fallback handling as above.
+  double GetDouble(const std::string& name, double fallback,
+                   const std::string& env = "") const;
+
+  /// Boolean value; a bare `--name` means true, `--name=false` means false.
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]); empty if argc == 0.
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_COMMON_FLAGS_H_

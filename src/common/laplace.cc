@@ -1,0 +1,40 @@
+#include "common/laplace.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dphist {
+
+LaplaceDistribution::LaplaceDistribution(double scale) : scale_(scale) {
+  DPHIST_CHECK_MSG(scale > 0.0, "Laplace scale must be positive");
+}
+
+double LaplaceDistribution::Pdf(double x) const {
+  return std::exp(-std::abs(x) / scale_) / (2.0 * scale_);
+}
+
+double LaplaceDistribution::Cdf(double x) const {
+  if (x < 0.0) return 0.5 * std::exp(x / scale_);
+  return 1.0 - 0.5 * std::exp(-x / scale_);
+}
+
+double LaplaceDistribution::Quantile(double u) const {
+  DPHIST_CHECK(u > 0.0 && u < 1.0);
+  if (u < 0.5) return scale_ * std::log(2.0 * u);
+  return -scale_ * std::log(2.0 * (1.0 - u));
+}
+
+double LaplaceDistribution::Sample(Rng* rng) const {
+  DPHIST_CHECK(rng != nullptr);
+  return Quantile(rng->NextOpenDouble());
+}
+
+std::vector<double> LaplaceDistribution::SampleVector(std::size_t n,
+                                                      Rng* rng) const {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = Sample(rng);
+  return out;
+}
+
+}  // namespace dphist

@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace dphist {
+namespace {
+
+LogLevel g_min_level = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level = level; }
+
+LogLevel GetLogLevel() { return g_min_level; }
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_min_level)) return;
+  auto now = std::chrono::system_clock::now();
+  std::time_t t = std::chrono::system_clock::to_time_t(now);
+  std::tm tm_buf;
+  localtime_r(&t, &tm_buf);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%H:%M:%S", &tm_buf);
+  std::fprintf(stderr, "[%s %s] %s\n", stamp, LevelName(level),
+               message.c_str());
+}
+
+}  // namespace dphist

@@ -1,0 +1,54 @@
+// Tiny leveled logger for bench and example binaries.
+//
+// The library itself never logs (it is a pure computation library); logging
+// exists so experiment drivers can narrate progress without each binary
+// reinventing timestamp formatting.
+
+#ifndef DPHIST_COMMON_LOGGING_H_
+#define DPHIST_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dphist {
+
+/// Severity for log messages.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that will be emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Current minimum level.
+LogLevel GetLogLevel();
+
+/// Emits `message` at `level` to stderr with a timestamp prefix.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style collector that emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dphist
+
+#define DPHIST_LOG(level) \
+  ::dphist::internal::LogStream(::dphist::LogLevel::level)
+
+#endif  // DPHIST_COMMON_LOGGING_H_

@@ -1,0 +1,53 @@
+#include "common/rng.h"
+
+#include "common/check.h"
+
+namespace dphist {
+
+Rng::Rng(std::uint64_t seed) : engine_(seed) {}
+
+double Rng::NextDouble() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::NextOpenDouble() {
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return u;
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  DPHIST_CHECK(lo < hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  DPHIST_CHECK(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::NextGaussian() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+std::int64_t Rng::NextPoisson(double mean) {
+  DPHIST_CHECK(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  return std::poisson_distribution<std::int64_t>(mean)(engine_);
+}
+
+bool Rng::NextBernoulli(double p) {
+  DPHIST_CHECK(p >= 0.0 && p <= 1.0);
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+Rng Rng::Fork() {
+  // Draw two words so forked streams decorrelate even for adjacent seeds.
+  std::uint64_t a = engine_();
+  std::uint64_t b = engine_();
+  return Rng(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace dphist

@@ -1,0 +1,48 @@
+#include "data/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dphist {
+
+ZipfDistribution::ZipfDistribution(std::int64_t n, double exponent)
+    : n_(n), exponent_(exponent) {
+  DPHIST_CHECK(n >= 1);
+  DPHIST_CHECK(exponent > 0.0);
+  cdf_.resize(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (std::int64_t r = 0; r < n; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -exponent);
+    cdf_[static_cast<std::size_t>(r)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+std::int64_t ZipfDistribution::Sample(Rng* rng) const {
+  DPHIST_CHECK(rng != nullptr);
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<std::int64_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Probability(std::int64_t r) const {
+  DPHIST_CHECK(r >= 0 && r < n_);
+  double lo = r == 0 ? 0.0 : cdf_[static_cast<std::size_t>(r - 1)];
+  return cdf_[static_cast<std::size_t>(r)] - lo;
+}
+
+std::vector<std::int64_t> ZipfCounts(std::int64_t n, double exponent,
+                                     std::int64_t total, Rng* rng) {
+  DPHIST_CHECK(total >= 0);
+  ZipfDistribution zipf(n, exponent);
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(n), 0);
+  for (std::int64_t i = 0; i < total; ++i) {
+    ++counts[static_cast<std::size_t>(zipf.Sample(rng))];
+  }
+  return counts;
+}
+
+}  // namespace dphist

@@ -1,0 +1,51 @@
+// Zipf-distributed sampling.
+//
+// Heavy-tailed count distributions are the regime where the paper's
+// inference shines (Theorem 2: many duplicated small counts). Zipf is the
+// standard generator for such shapes and underlies the NetTrace and
+// SearchLogs substitutes.
+
+#ifndef DPHIST_DATA_ZIPF_H_
+#define DPHIST_DATA_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dphist {
+
+/// Zipf distribution over ranks 1..n with exponent s > 0:
+/// P(rank = r) proportional to r^-s. Sampling is inverse-CDF over a
+/// precomputed table (O(log n) per draw).
+class ZipfDistribution {
+ public:
+  /// Builds the rank table. Requires n >= 1 and exponent > 0.
+  ZipfDistribution(std::int64_t n, double exponent);
+
+  /// Number of ranks.
+  std::int64_t n() const { return n_; }
+
+  /// The exponent s.
+  double exponent() const { return exponent_; }
+
+  /// Draws a rank in [0, n) (0-indexed; rank 0 is the most likely).
+  std::int64_t Sample(Rng* rng) const;
+
+  /// Probability of rank r (0-indexed).
+  double Probability(std::int64_t r) const;
+
+ private:
+  std::int64_t n_;
+  double exponent_;
+  std::vector<double> cdf_;
+};
+
+/// Draws `total` Zipf(n, exponent) samples and returns the per-rank tally —
+/// a heavy-tailed histogram with sum `total`.
+std::vector<std::int64_t> ZipfCounts(std::int64_t n, double exponent,
+                                     std::int64_t total, Rng* rng);
+
+}  // namespace dphist
+
+#endif  // DPHIST_DATA_ZIPF_H_

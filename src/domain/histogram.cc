@@ -1,0 +1,85 @@
+#include "domain/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+
+namespace dphist {
+
+Histogram::Histogram(Domain domain)
+    : domain_(std::move(domain)),
+      counts_(static_cast<std::size_t>(domain_.size()), 0.0) {}
+
+Histogram::Histogram(std::vector<double> counts, std::string attribute)
+    : domain_(static_cast<std::int64_t>(counts.size()), std::move(attribute)),
+      counts_(std::move(counts)) {
+  DPHIST_CHECK(!counts_.empty());
+}
+
+Histogram Histogram::FromCounts(const std::vector<std::int64_t>& counts,
+                                std::string attribute) {
+  std::vector<double> values(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    values[i] = static_cast<double>(counts[i]);
+  }
+  return Histogram(std::move(values), std::move(attribute));
+}
+
+double Histogram::At(std::int64_t position) const {
+  DPHIST_CHECK(position >= 0 && position < size());
+  return counts_[static_cast<std::size_t>(position)];
+}
+
+void Histogram::Set(std::int64_t position, double count) {
+  DPHIST_CHECK(position >= 0 && position < size());
+  counts_[static_cast<std::size_t>(position)] = count;
+  prefix_valid_ = false;
+}
+
+void Histogram::Increment(std::int64_t position, double delta) {
+  DPHIST_CHECK(position >= 0 && position < size());
+  counts_[static_cast<std::size_t>(position)] += delta;
+  prefix_valid_ = false;
+}
+
+void Histogram::EnsurePrefix() const {
+  if (prefix_valid_) return;
+  prefix_.assign(counts_.size() + 1, 0.0);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    prefix_[i + 1] = prefix_[i] + counts_[i];
+  }
+  prefix_valid_ = true;
+}
+
+double Histogram::Count(const Interval& range) const {
+  DPHIST_CHECK_MSG(domain_.ContainsInterval(range),
+                   "range query outside the domain");
+  EnsurePrefix();
+  return prefix_[static_cast<std::size_t>(range.hi()) + 1] -
+         prefix_[static_cast<std::size_t>(range.lo())];
+}
+
+double Histogram::Total() const { return Count(domain_.FullRange()); }
+
+std::vector<double> Histogram::SortedCounts() const {
+  std::vector<double> sorted = counts_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+std::int64_t Histogram::NonZeroCount() const {
+  std::int64_t n = 0;
+  for (double c : counts_) {
+    if (c != 0.0) ++n;
+  }
+  return n;
+}
+
+std::int64_t Histogram::DistinctCountValues() const {
+  std::set<double> distinct(counts_.begin(), counts_.end());
+  return static_cast<std::int64_t>(distinct.size());
+}
+
+}  // namespace dphist

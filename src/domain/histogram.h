@@ -1,0 +1,81 @@
+// Histogram: per-position counts over an ordered domain.
+//
+// A Histogram is the library's stand-in for the private database instance
+// I: the vector of unit-length counts L(I) is a sufficient statistic for
+// every query sequence the paper considers (L, H, S are all functions of
+// it), so algorithms consume Histogram rather than raw tuples. Counts are
+// stored as doubles so the same container carries true (integral) counts,
+// noisy answers, and inferred estimates.
+
+#ifndef DPHIST_DOMAIN_HISTOGRAM_H_
+#define DPHIST_DOMAIN_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "domain/domain.h"
+#include "domain/interval.h"
+
+namespace dphist {
+
+/// Counts over an ordered domain, with O(1) range sums after the first
+/// range query (lazy prefix table, invalidated on mutation).
+class Histogram {
+ public:
+  /// A zero histogram over `domain`.
+  explicit Histogram(Domain domain);
+
+  /// A histogram with the given counts; counts.size() defines the domain.
+  explicit Histogram(std::vector<double> counts,
+                     std::string attribute = "value");
+
+  /// Builds from integer counts.
+  static Histogram FromCounts(const std::vector<std::int64_t>& counts,
+                              std::string attribute = "value");
+
+  /// The domain.
+  const Domain& domain() const { return domain_; }
+
+  /// Number of positions.
+  std::int64_t size() const { return domain_.size(); }
+
+  /// Count at a position (checked).
+  double At(std::int64_t position) const;
+
+  /// Sets the count at a position (checked).
+  void Set(std::int64_t position, double count);
+
+  /// Adds `delta` to the count at a position (checked).
+  void Increment(std::int64_t position, double delta = 1.0);
+
+  /// The counting query c([x, y]): sum of counts in the interval.
+  /// This is the paper's `Select count(*) ... Where x <= R.A <= y`.
+  double Count(const Interval& range) const;
+
+  /// Total of all counts (== Count over the full domain).
+  double Total() const;
+
+  /// All counts in domain order.
+  const std::vector<double>& counts() const { return counts_; }
+
+  /// Counts in ascending order: the unattributed histogram S(I) (§3).
+  std::vector<double> SortedCounts() const;
+
+  /// Number of nonzero positions.
+  std::int64_t NonZeroCount() const;
+
+  /// Number of distinct count values (the `d` of Theorem 2).
+  std::int64_t DistinctCountValues() const;
+
+ private:
+  void EnsurePrefix() const;
+
+  Domain domain_;
+  std::vector<double> counts_;
+  mutable std::vector<double> prefix_;  // prefix_[i] = sum of counts[0..i)
+  mutable bool prefix_valid_ = false;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_DOMAIN_HISTOGRAM_H_

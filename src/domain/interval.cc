@@ -1,0 +1,15 @@
+#include "domain/interval.h"
+
+#include "common/check.h"
+
+namespace dphist {
+
+Interval::Interval(std::int64_t lo, std::int64_t hi) : lo_(lo), hi_(hi) {
+  DPHIST_CHECK_MSG(lo <= hi, "interval requires lo <= hi");
+}
+
+std::string Interval::ToString() const {
+  return "[" + std::to_string(lo_) + ", " + std::to_string(hi_) + "]";
+}
+
+}  // namespace dphist

@@ -1,0 +1,62 @@
+// Closed integer intervals over an ordered domain.
+//
+// The paper writes intervals as [x, y] with x, y in dom and abbreviates
+// [x, x] as [x] (Section 2). We index domain positions 0..n-1.
+
+#ifndef DPHIST_DOMAIN_INTERVAL_H_
+#define DPHIST_DOMAIN_INTERVAL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dphist {
+
+/// Inclusive interval [lo, hi] of domain positions. Requires lo <= hi.
+class Interval {
+ public:
+  /// Constructs [lo, hi]. Checked: lo <= hi.
+  Interval(std::int64_t lo, std::int64_t hi);
+
+  /// The unit interval [x, x].
+  static Interval Unit(std::int64_t x) { return Interval(x, x); }
+
+  std::int64_t lo() const { return lo_; }
+  std::int64_t hi() const { return hi_; }
+
+  /// Number of positions covered: hi - lo + 1.
+  std::int64_t Length() const { return hi_ - lo_ + 1; }
+
+  /// True iff position x lies in [lo, hi].
+  bool Contains(std::int64_t x) const { return lo_ <= x && x <= hi_; }
+
+  /// True iff `other` is fully inside this interval.
+  bool Covers(const Interval& other) const {
+    return lo_ <= other.lo_ && other.hi_ <= hi_;
+  }
+
+  /// True iff the two intervals share at least one position.
+  bool Overlaps(const Interval& other) const {
+    return lo_ <= other.hi_ && other.lo_ <= hi_;
+  }
+
+  /// True iff the two intervals are adjacent or overlapping (their union
+  /// is a single interval).
+  bool Touches(const Interval& other) const {
+    return lo_ <= other.hi_ + 1 && other.lo_ <= hi_ + 1;
+  }
+
+  bool operator==(const Interval& other) const {
+    return lo_ == other.lo_ && hi_ == other.hi_;
+  }
+
+  /// Renders "[lo, hi]".
+  std::string ToString() const;
+
+ private:
+  std::int64_t lo_;
+  std::int64_t hi_;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_DOMAIN_INTERVAL_H_

@@ -1,0 +1,41 @@
+// Common interface for private range-count estimators plus workload
+// generation helpers shared by the universal-histogram experiments.
+
+#ifndef DPHIST_ESTIMATORS_RANGE_ENGINE_H_
+#define DPHIST_ESTIMATORS_RANGE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "domain/interval.h"
+
+namespace dphist {
+
+/// Anything that can answer c([x, y]) from a privately derived state.
+class RangeCountEstimator {
+ public:
+  virtual ~RangeCountEstimator() = default;
+
+  /// Estimated count for the range.
+  virtual double RangeCount(const Interval& range) const = 0;
+
+  /// Short name for reports ("L~", "H~", "H-bar", ...).
+  virtual std::string Name() const = 0;
+};
+
+/// Draws `count` ranges of exactly `size` positions with uniformly random
+/// location inside a domain of `domain_size` (the Fig. 6 workload).
+/// Requires 1 <= size <= domain_size.
+std::vector<Interval> RandomRangesOfSize(std::int64_t domain_size,
+                                         std::int64_t size,
+                                         std::int64_t count, Rng* rng);
+
+/// Every range size used by the Fig. 6 sweep: 2^1, 2^2, ..., 2^(height-2)
+/// for a binary tree of the given height, clipped to the domain.
+std::vector<std::int64_t> Fig6RangeSizes(std::int64_t domain_size);
+
+}  // namespace dphist
+
+#endif  // DPHIST_ESTIMATORS_RANGE_ENGINE_H_

@@ -1,0 +1,128 @@
+#include "estimators/universal.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "inference/hierarchical.h"
+#include "inference/nonnegative_pruning.h"
+#include "mechanism/laplace_mechanism.h"
+#include "query/hierarchical_query.h"
+#include "query/unit_query.h"
+#include "tree/range_decomposition.h"
+
+namespace dphist {
+namespace {
+
+std::vector<double> PrefixSums(const std::vector<double>& values) {
+  std::vector<double> prefix(values.size() + 1, 0.0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    prefix[i + 1] = prefix[i] + values[i];
+  }
+  return prefix;
+}
+
+double PrefixRangeSum(const std::vector<double>& prefix,
+                      const Interval& range) {
+  DPHIST_CHECK_MSG(
+      range.lo() >= 0 &&
+          range.hi() < static_cast<std::int64_t>(prefix.size()) - 1,
+      "range outside the estimator's domain");
+  return prefix[static_cast<std::size_t>(range.hi()) + 1] -
+         prefix[static_cast<std::size_t>(range.lo())];
+}
+
+double RoundAnswer(double answer, bool enabled) {
+  if (!enabled) return answer;
+  return answer <= 0.0 ? 0.0 : std::round(answer);
+}
+
+}  // namespace
+
+LTildeEstimator::LTildeEstimator(const Histogram& data,
+                                 const UniversalOptions& options, Rng* rng)
+    : round_answers_(options.round_to_nonnegative_integers) {
+  UnitQuery query(data.size());
+  LaplaceMechanism mechanism(options.epsilon);
+  leaves_ = mechanism.AnswerQuery(query, data, rng);
+  prefix_ = PrefixSums(leaves_);
+}
+
+double LTildeEstimator::RangeCount(const Interval& range) const {
+  return RoundAnswer(PrefixRangeSum(prefix_, range), round_answers_);
+}
+
+HTildeEstimator::HTildeEstimator(const Histogram& data,
+                                 const UniversalOptions& options, Rng* rng)
+    : round_answers_(options.round_to_nonnegative_integers),
+      domain_size_(data.size()),
+      tree_(data.size(), options.branching) {
+  HierarchicalQuery query(data.size(), options.branching);
+  LaplaceMechanism mechanism(options.epsilon);
+  nodes_ = mechanism.AnswerQuery(query, data, rng);
+}
+
+HTildeEstimator::HTildeEstimator(std::int64_t domain_size,
+                                 const UniversalOptions& options,
+                                 std::vector<double> noisy_nodes)
+    : round_answers_(options.round_to_nonnegative_integers),
+      domain_size_(domain_size),
+      tree_(domain_size, options.branching),
+      nodes_(std::move(noisy_nodes)) {
+  DPHIST_CHECK_MSG(
+      nodes_.size() == static_cast<std::size_t>(tree_.node_count()),
+      "noisy node vector does not match the tree");
+}
+
+double HTildeEstimator::RangeCount(const Interval& range) const {
+  DPHIST_CHECK_MSG(range.lo() >= 0 && range.hi() < domain_size_,
+                   "range outside the estimator's domain");
+  double total = 0.0;
+  for (std::int64_t v : DecomposeRange(tree_, range)) {
+    total += nodes_[static_cast<std::size_t>(v)];
+  }
+  return RoundAnswer(total, round_answers_);
+}
+
+HBarEstimator::HBarEstimator(const Histogram& data,
+                             const UniversalOptions& options, Rng* rng)
+    : domain_size_(data.size()), tree_(data.size(), options.branching) {
+  HierarchicalQuery query(data.size(), options.branching);
+  LaplaceMechanism mechanism(options.epsilon);
+  FinishConstruction(options, mechanism.AnswerQuery(query, data, rng));
+}
+
+HBarEstimator::HBarEstimator(std::int64_t domain_size,
+                             const UniversalOptions& options,
+                             const std::vector<double>& noisy_nodes)
+    : domain_size_(domain_size), tree_(domain_size, options.branching) {
+  FinishConstruction(options, noisy_nodes);
+}
+
+void HBarEstimator::FinishConstruction(
+    const UniversalOptions& options, const std::vector<double>& noisy_nodes) {
+  DPHIST_CHECK_MSG(
+      noisy_nodes.size() == static_cast<std::size_t>(tree_.node_count()),
+      "noisy node vector does not match the tree");
+  HierarchicalInferenceResult inference =
+      HierarchicalInference(tree_, noisy_nodes);
+  nodes_ = std::move(inference.node_estimates);
+  if (options.prune_nonpositive_subtrees) {
+    nodes_ = PruneNonPositiveSubtrees(tree_, nodes_);
+  }
+  if (options.round_to_nonnegative_integers) {
+    nodes_ = RoundToNonNegativeIntegers(nodes_);
+  }
+  leaves_ = LeafEstimates(tree_, nodes_, domain_size_);
+}
+
+double HBarEstimator::RangeCount(const Interval& range) const {
+  DPHIST_CHECK_MSG(range.lo() >= 0 && range.hi() < domain_size_,
+                   "range outside the estimator's domain");
+  double total = 0.0;
+  for (std::int64_t v : DecomposeRange(tree_, range)) {
+    total += nodes_[static_cast<std::size_t>(v)];
+  }
+  return total;
+}
+
+}  // namespace dphist

@@ -1,0 +1,131 @@
+#include "estimators/universal2d.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/laplace.h"
+#include "inference/hierarchical.h"
+#include "inference/nonnegative_pruning.h"
+
+namespace dphist {
+namespace {
+
+double RoundAnswer(double answer, bool enabled) {
+  if (!enabled) return answer;
+  return answer <= 0.0 ? 0.0 : std::round(answer);
+}
+
+}  // namespace
+
+std::vector<double> EvaluateQuadtreeCounts(const QuadtreeLayout& quad,
+                                           const GridHistogram& data) {
+  DPHIST_CHECK_MSG(data.rows() <= quad.side() && data.cols() <= quad.side(),
+                   "grid does not fit the quadtree");
+  const TreeLayout& tree = quad.tree();
+  std::vector<double> counts(static_cast<std::size_t>(tree.node_count()),
+                             0.0);
+  for (std::int64_t r = 0; r < data.rows(); ++r) {
+    for (std::int64_t c = 0; c < data.cols(); ++c) {
+      counts[static_cast<std::size_t>(quad.LeafNode(r, c))] = data.At(r, c);
+    }
+  }
+  for (std::int64_t v = tree.node_count() - 1; v > 0; --v) {
+    counts[static_cast<std::size_t>(tree.Parent(v))] +=
+        counts[static_cast<std::size_t>(v)];
+  }
+  return counts;
+}
+
+L2dEstimator::L2dEstimator(const GridHistogram& data,
+                           const Universal2dOptions& options, Rng* rng)
+    : round_answers_(options.round_to_nonnegative_integers),
+      noisy_(data.rows(), data.cols(), data.attribute()) {
+  DPHIST_CHECK(rng != nullptr);
+  DPHIST_CHECK_MSG(options.epsilon > 0.0, "epsilon must be positive");
+  LaplaceDistribution noise(1.0 / options.epsilon);
+  for (std::int64_t r = 0; r < data.rows(); ++r) {
+    for (std::int64_t c = 0; c < data.cols(); ++c) {
+      noisy_.Set(r, c, data.At(r, c) + noise.Sample(rng));
+    }
+  }
+}
+
+double L2dEstimator::RectCount(const Rect& rect) const {
+  return RoundAnswer(noisy_.Count(rect), round_answers_);
+}
+
+Quad2dTildeEstimator::Quad2dTildeEstimator(const GridHistogram& data,
+                                           const Universal2dOptions& options,
+                                           Rng* rng)
+    : round_answers_(options.round_to_nonnegative_integers),
+      rows_(data.rows()),
+      cols_(data.cols()),
+      quad_(data.rows(), data.cols()) {
+  DPHIST_CHECK(rng != nullptr);
+  DPHIST_CHECK_MSG(options.epsilon > 0.0, "epsilon must be positive");
+  nodes_ = EvaluateQuadtreeCounts(quad_, data);
+  LaplaceDistribution noise(static_cast<double>(quad_.height()) /
+                            options.epsilon);
+  for (double& v : nodes_) v += noise.Sample(rng);
+}
+
+double Quad2dTildeEstimator::RectCount(const Rect& rect) const {
+  DPHIST_CHECK_MSG(rect.row_hi() < rows_ && rect.col_hi() < cols_,
+                   "rect outside the estimator's grid");
+  double total = 0.0;
+  for (std::int64_t v : quad_.DecomposeRect(rect)) {
+    total += nodes_[static_cast<std::size_t>(v)];
+  }
+  return RoundAnswer(total, round_answers_);
+}
+
+Quad2dBarEstimator::Quad2dBarEstimator(const GridHistogram& data,
+                                       const Universal2dOptions& options,
+                                       Rng* rng)
+    : rows_(data.rows()),
+      cols_(data.cols()),
+      quad_(data.rows(), data.cols()) {
+  DPHIST_CHECK(rng != nullptr);
+  DPHIST_CHECK_MSG(options.epsilon > 0.0, "epsilon must be positive");
+  std::vector<double> noisy = EvaluateQuadtreeCounts(quad_, data);
+  LaplaceDistribution noise(static_cast<double>(quad_.height()) /
+                            options.epsilon);
+  for (double& v : noisy) v += noise.Sample(rng);
+  FinishConstruction(options, noisy);
+}
+
+Quad2dBarEstimator::Quad2dBarEstimator(std::int64_t rows, std::int64_t cols,
+                                       const Universal2dOptions& options,
+                                       const std::vector<double>& noisy_nodes)
+    : rows_(rows), cols_(cols), quad_(rows, cols) {
+  FinishConstruction(options, noisy_nodes);
+}
+
+void Quad2dBarEstimator::FinishConstruction(
+    const Universal2dOptions& options,
+    const std::vector<double>& noisy_nodes) {
+  DPHIST_CHECK_MSG(noisy_nodes.size() ==
+                       static_cast<std::size_t>(quad_.node_count()),
+                   "noisy node vector does not match the quadtree");
+  HierarchicalInferenceResult inference =
+      HierarchicalInference(quad_.tree(), noisy_nodes);
+  nodes_ = std::move(inference.node_estimates);
+  if (options.prune_nonpositive_subtrees) {
+    nodes_ = PruneNonPositiveSubtrees(quad_.tree(), nodes_);
+  }
+  if (options.round_to_nonnegative_integers) {
+    nodes_ = RoundToNonNegativeIntegers(nodes_);
+  }
+}
+
+double Quad2dBarEstimator::RectCount(const Rect& rect) const {
+  DPHIST_CHECK_MSG(rect.row_hi() < rows_ && rect.col_hi() < cols_,
+                   "rect outside the estimator's grid");
+  double total = 0.0;
+  for (std::int64_t v : quad_.DecomposeRect(rect)) {
+    total += nodes_[static_cast<std::size_t>(v)];
+  }
+  return total;
+}
+
+}  // namespace dphist

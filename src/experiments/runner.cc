@@ -1,0 +1,137 @@
+#include "experiments/runner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "estimators/range_engine.h"
+#include "estimators/universal.h"
+#include "inference/isotonic.h"
+#include "mechanism/laplace_mechanism.h"
+#include "query/hierarchical_query.h"
+
+namespace dphist {
+
+std::vector<UnattributedCell> RunUnattributedExperiment(
+    const Histogram& data, const UnattributedExperimentConfig& config) {
+  DPHIST_CHECK(config.trials > 0);
+  const std::vector<double> truth = TrueSortedCounts(data);
+  const double n = static_cast<double>(truth.size());
+
+  std::vector<UnattributedCell> cells;
+  Rng master(config.seed);
+  for (double epsilon : config.epsilons) {
+    RunningStat error_by_estimator[3];
+    for (std::int64_t t = 0; t < config.trials; ++t) {
+      Rng trial_rng = master.Fork();
+      std::vector<double> noisy =
+          SampleNoisySortedCounts(data, epsilon, &trial_rng);
+      int idx = 0;
+      for (UnattributedEstimator estimator : kAllUnattributedEstimators) {
+        std::vector<double> estimate =
+            ApplyUnattributedEstimator(estimator, noisy);
+        error_by_estimator[idx++].Add(SquaredError(estimate, truth));
+      }
+    }
+    int idx = 0;
+    for (UnattributedEstimator estimator : kAllUnattributedEstimators) {
+      double total = error_by_estimator[idx++].Mean();
+      cells.push_back(UnattributedCell{epsilon, estimator, total, total / n});
+    }
+  }
+  return cells;
+}
+
+std::vector<UniversalCell> RunUniversalExperiment(
+    const Histogram& data, const UniversalExperimentConfig& config) {
+  DPHIST_CHECK(config.trials > 0);
+  DPHIST_CHECK(config.ranges_per_size > 0);
+  const std::int64_t domain_size = data.size();
+  const std::vector<std::int64_t> sizes = Fig6RangeSizes(domain_size);
+
+  std::vector<UniversalCell> cells;
+  Rng master(config.seed);
+  for (double epsilon : config.epsilons) {
+    UniversalOptions options;
+    options.epsilon = epsilon;
+    options.branching = config.branching;
+    options.round_to_nonnegative_integers =
+        config.round_to_nonnegative_integers;
+    options.prune_nonpositive_subtrees = config.prune_nonpositive_subtrees;
+
+    // error[estimator][size index]
+    std::vector<RunningStat> errors_l(sizes.size());
+    std::vector<RunningStat> errors_ht(sizes.size());
+    std::vector<RunningStat> errors_hb(sizes.size());
+
+    HierarchicalQuery h_query(domain_size, config.branching);
+    LaplaceMechanism mechanism(epsilon);
+
+    for (std::int64_t t = 0; t < config.trials; ++t) {
+      Rng trial_rng = master.Fork();
+      LTildeEstimator l_tilde(data, options, &trial_rng);
+      // One hierarchical draw shared by H~ and H-bar.
+      std::vector<double> noisy_nodes =
+          mechanism.AnswerQuery(h_query, data, &trial_rng);
+      HTildeEstimator h_tilde(domain_size, options, noisy_nodes);
+      HBarEstimator h_bar(domain_size, options, noisy_nodes);
+
+      for (std::size_t s = 0; s < sizes.size(); ++s) {
+        std::vector<Interval> ranges = RandomRangesOfSize(
+            domain_size, sizes[s], config.ranges_per_size, &trial_rng);
+        for (const Interval& q : ranges) {
+          double truth = data.Count(q);
+          double dl = l_tilde.RangeCount(q) - truth;
+          double dht = h_tilde.RangeCount(q) - truth;
+          double dhb = h_bar.RangeCount(q) - truth;
+          errors_l[s].Add(dl * dl);
+          errors_ht[s].Add(dht * dht);
+          errors_hb[s].Add(dhb * dhb);
+        }
+      }
+    }
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+      cells.push_back(
+          UniversalCell{epsilon, "L~", sizes[s], errors_l[s].Mean()});
+      cells.push_back(
+          UniversalCell{epsilon, "H~", sizes[s], errors_ht[s].Mean()});
+      cells.push_back(
+          UniversalCell{epsilon, "H-bar", sizes[s], errors_hb[s].Mean()});
+    }
+  }
+  return cells;
+}
+
+ErrorProfile RunErrorProfile(const Histogram& data, double epsilon,
+                             std::int64_t trials, std::uint64_t seed) {
+  DPHIST_CHECK(trials > 0);
+  // Work in ascending order (the inference order), flip for display.
+  const std::vector<double> truth_ascending = TrueSortedCounts(data);
+  const std::size_t n = truth_ascending.size();
+
+  std::vector<RunningStat> per_position(n);
+  Rng master(seed);
+  for (std::int64_t t = 0; t < trials; ++t) {
+    Rng trial_rng = master.Fork();
+    std::vector<double> noisy =
+        SampleNoisySortedCounts(data, epsilon, &trial_rng);
+    std::vector<double> fitted = IsotonicRegression(noisy);
+    for (std::size_t i = 0; i < n; ++i) {
+      double d = fitted[i] - truth_ascending[i];
+      per_position[i].Add(d * d);
+    }
+  }
+
+  ErrorProfile profile;
+  profile.true_sorted_descending.assign(truth_ascending.rbegin(),
+                                        truth_ascending.rend());
+  profile.sbar_error.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    profile.sbar_error[i] = per_position[n - 1 - i].Mean();
+  }
+  profile.stilde_error = 2.0 / (epsilon * epsilon);
+  return profile;
+}
+
+}  // namespace dphist

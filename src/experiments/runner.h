@@ -1,0 +1,90 @@
+// Multi-trial experiment runners reproducing the paper's evaluation
+// protocol (Section 5): average squared error over repeated draws from the
+// differentially private mechanisms, and over random range workloads for
+// the universal-histogram task.
+
+#ifndef DPHIST_EXPERIMENTS_RUNNER_H_
+#define DPHIST_EXPERIMENTS_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "domain/histogram.h"
+#include "estimators/unattributed.h"
+
+namespace dphist {
+
+/// Protocol knobs for the Fig. 5 experiment.
+struct UnattributedExperimentConfig {
+  /// Privacy levels, in the paper's order.
+  std::vector<double> epsilons = {1.0, 0.1, 0.01};
+  /// Noise redraws per (epsilon, estimator) cell. Paper: 50.
+  std::int64_t trials = 50;
+  /// Seed for the whole experiment (each trial forks its own stream).
+  std::uint64_t seed = 7;
+};
+
+/// One Fig. 5 bar: average error of one estimator at one privacy level.
+struct UnattributedCell {
+  double epsilon;
+  UnattributedEstimator estimator;
+  /// Average over trials of sum_i (est[i] - S(I)[i])^2.
+  double total_squared_error;
+  /// total_squared_error / n — the per-count mean squared error, which is
+  /// the scale Fig. 5 plots (error(S~) = 2/eps^2 per count).
+  double per_count_error;
+};
+
+/// Runs the Fig. 5 protocol on one dataset.
+std::vector<UnattributedCell> RunUnattributedExperiment(
+    const Histogram& data, const UnattributedExperimentConfig& config);
+
+/// Protocol knobs for the Fig. 6 experiment.
+struct UniversalExperimentConfig {
+  std::vector<double> epsilons = {1.0, 0.1, 0.01};
+  /// Noise redraws per epsilon. Paper: 50.
+  std::int64_t trials = 50;
+  /// Random ranges per (trial, range size). Paper: 1000.
+  std::int64_t ranges_per_size = 1000;
+  /// Tree branching factor. Paper: 2.
+  std::int64_t branching = 2;
+  /// Round all estimates to non-negative integers (Section 5.2).
+  bool round_to_nonnegative_integers = true;
+  /// Prune non-positive subtrees in H-bar (Section 4.2).
+  bool prune_nonpositive_subtrees = true;
+  std::uint64_t seed = 7;
+};
+
+/// One Fig. 6 point: average squared error of one estimator for ranges of
+/// one size at one privacy level.
+struct UniversalCell {
+  double epsilon;
+  std::string estimator;  // "L~", "H~", "H-bar"
+  std::int64_t range_size;
+  /// Average over trials and ranges of (est(q) - true(q))^2.
+  double avg_squared_error;
+};
+
+/// Runs the Fig. 6 protocol on one dataset. H~ and H-bar are evaluated on
+/// the same noisy draw each trial, isolating the effect of inference.
+std::vector<UniversalCell> RunUniversalExperiment(
+    const Histogram& data, const UniversalExperimentConfig& config);
+
+/// Fig. 7: per-position error profile of S-bar vs S~ on one dataset.
+struct ErrorProfile {
+  /// S(I) sorted descending (the order Fig. 7 plots).
+  std::vector<double> true_sorted_descending;
+  /// Mean squared error of S-bar at each position (same order).
+  std::vector<double> sbar_error;
+  /// Expected per-position error of S~, constant 2/eps^2.
+  double stilde_error;
+};
+
+/// Runs the Fig. 7 protocol (paper: 200 trials, eps = 1.0).
+ErrorProfile RunErrorProfile(const Histogram& data, double epsilon,
+                             std::int64_t trials, std::uint64_t seed);
+
+}  // namespace dphist
+
+#endif  // DPHIST_EXPERIMENTS_RUNNER_H_

@@ -1,0 +1,107 @@
+#include "inference/hierarchical.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dphist {
+
+HierarchicalInferenceResult HierarchicalInference(
+    const TreeLayout& tree, const std::vector<double>& noisy) {
+  DPHIST_CHECK_MSG(
+      noisy.size() == static_cast<std::size_t>(tree.node_count()),
+      "noisy vector size must equal the tree's node count");
+  const std::int64_t k = tree.branching();
+  const std::int64_t m = tree.node_count();
+  const std::int64_t height = tree.height();
+
+  // Per-depth weights: a node at depth d has height l = height - d.
+  // alpha[l] multiplies the node's own noisy count, beta[l] the children
+  // sum. Precomputing avoids k^l recomputation per node.
+  std::vector<double> alpha(static_cast<std::size_t>(height) + 1, 0.0);
+  std::vector<double> beta(static_cast<std::size_t>(height) + 1, 0.0);
+  double k_pow = static_cast<double>(k);  // k^1
+  for (std::int64_t l = 2; l <= height; ++l) {
+    double k_lm1 = k_pow;  // k^(l-1)
+    k_pow *= static_cast<double>(k);
+    double denom = k_pow - 1.0;
+    alpha[static_cast<std::size_t>(l)] = (k_pow - k_lm1) / denom;
+    beta[static_cast<std::size_t>(l)] = (k_lm1 - 1.0) / denom;
+  }
+
+  HierarchicalInferenceResult result;
+  result.subtree_estimates.assign(noisy.begin(), noisy.end());
+  std::vector<double>& z = result.subtree_estimates;
+
+  // Bottom-up z pass. Children have larger ids, so iterate ids descending.
+  // Leaves keep z[v] = h~[v] from the copy above.
+  for (std::int64_t v = m - 1; v >= 0; --v) {
+    if (tree.IsLeaf(v)) continue;
+    std::int64_t l = height - tree.Depth(v);
+    double child_sum = 0.0;
+    std::int64_t first = tree.FirstChild(v);
+    for (std::int64_t c = 0; c < k; ++c) {
+      child_sum += z[static_cast<std::size_t>(first + c)];
+    }
+    z[static_cast<std::size_t>(v)] =
+        alpha[static_cast<std::size_t>(l)] * noisy[static_cast<std::size_t>(v)] +
+        beta[static_cast<std::size_t>(l)] * child_sum;
+  }
+
+  // Top-down h pass.
+  std::vector<double>& h = result.node_estimates;
+  h.assign(z.begin(), z.end());
+  for (std::int64_t u = 0; u < m; ++u) {
+    if (tree.IsLeaf(u)) continue;
+    double child_z_sum = 0.0;
+    std::int64_t first = tree.FirstChild(u);
+    for (std::int64_t c = 0; c < k; ++c) {
+      child_z_sum += z[static_cast<std::size_t>(first + c)];
+    }
+    double adjustment =
+        (h[static_cast<std::size_t>(u)] - child_z_sum) / static_cast<double>(k);
+    for (std::int64_t c = 0; c < k; ++c) {
+      // h[child] starts at z[child] (from the copy) and receives the
+      // parent's correction; parents are processed before children because
+      // BFS ids increase with depth.
+      h[static_cast<std::size_t>(first + c)] =
+          z[static_cast<std::size_t>(first + c)] + adjustment;
+    }
+  }
+  return result;
+}
+
+std::vector<double> LeafEstimates(const TreeLayout& tree,
+                                  const std::vector<double>& node_estimates,
+                                  std::int64_t domain_size) {
+  DPHIST_CHECK(node_estimates.size() ==
+               static_cast<std::size_t>(tree.node_count()));
+  DPHIST_CHECK(domain_size >= 1 && domain_size <= tree.leaf_count());
+  std::vector<double> leaves(static_cast<std::size_t>(domain_size));
+  for (std::int64_t pos = 0; pos < domain_size; ++pos) {
+    leaves[static_cast<std::size_t>(pos)] =
+        node_estimates[static_cast<std::size_t>(tree.LeafNode(pos))];
+  }
+  return leaves;
+}
+
+double MaxConsistencyViolation(const TreeLayout& tree,
+                               const std::vector<double>& node_values) {
+  DPHIST_CHECK(node_values.size() ==
+               static_cast<std::size_t>(tree.node_count()));
+  double worst = 0.0;
+  for (std::int64_t v = 0; v < tree.node_count(); ++v) {
+    if (tree.IsLeaf(v)) continue;
+    double child_sum = 0.0;
+    std::int64_t first = tree.FirstChild(v);
+    for (std::int64_t c = 0; c < tree.branching(); ++c) {
+      child_sum += node_values[static_cast<std::size_t>(first + c)];
+    }
+    worst = std::max(
+        worst, std::abs(node_values[static_cast<std::size_t>(v)] - child_sum));
+  }
+  return worst;
+}
+
+}  // namespace dphist

@@ -1,0 +1,39 @@
+#include "inference/nonnegative_pruning.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dphist {
+
+std::vector<double> PruneNonPositiveSubtrees(
+    const TreeLayout& tree, const std::vector<double>& node_estimates) {
+  DPHIST_CHECK(node_estimates.size() ==
+               static_cast<std::size_t>(tree.node_count()));
+  std::vector<double> out = node_estimates;
+  // BFS order means parents precede children, so a single forward sweep
+  // propagates "zeroed" state downward: once a node is zeroed, each child
+  // is zeroed either because its own estimate is <= 0 or because we force
+  // it here.
+  std::vector<bool> zeroed(out.size(), false);
+  for (std::int64_t v = 0; v < tree.node_count(); ++v) {
+    bool parent_zeroed =
+        !tree.IsRoot(v) && zeroed[static_cast<std::size_t>(tree.Parent(v))];
+    if (parent_zeroed || out[static_cast<std::size_t>(v)] <= 0.0) {
+      zeroed[static_cast<std::size_t>(v)] = true;
+      out[static_cast<std::size_t>(v)] = 0.0;
+    }
+  }
+  return out;
+}
+
+std::vector<double> RoundToNonNegativeIntegers(
+    const std::vector<double>& values) {
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = values[i] <= 0.0 ? 0.0 : std::round(values[i]);
+  }
+  return out;
+}
+
+}  // namespace dphist

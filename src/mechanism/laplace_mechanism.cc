@@ -1,0 +1,37 @@
+#include "mechanism/laplace_mechanism.h"
+
+#include "common/check.h"
+
+namespace dphist {
+
+LaplaceMechanism::LaplaceMechanism(double epsilon) : epsilon_(epsilon) {
+  DPHIST_CHECK_MSG(epsilon > 0.0, "epsilon must be positive");
+}
+
+double LaplaceMechanism::NoiseScale(const QuerySequence& query) const {
+  return query.Sensitivity() / epsilon_;
+}
+
+double LaplaceMechanism::NoiseVariance(const QuerySequence& query) const {
+  double b = NoiseScale(query);
+  return 2.0 * b * b;
+}
+
+std::vector<double> LaplaceMechanism::AnswerQuery(const QuerySequence& query,
+                                                  const Histogram& data,
+                                                  Rng* rng) const {
+  return Perturb(query.Evaluate(data), NoiseScale(query), rng);
+}
+
+std::vector<double> LaplaceMechanism::Perturb(
+    const std::vector<double>& answers, double noise_scale, Rng* rng) const {
+  DPHIST_CHECK(rng != nullptr);
+  LaplaceDistribution noise(noise_scale);
+  std::vector<double> out(answers.size());
+  for (std::size_t i = 0; i < answers.size(); ++i) {
+    out[i] = answers[i] + noise.Sample(rng);
+  }
+  return out;
+}
+
+}  // namespace dphist

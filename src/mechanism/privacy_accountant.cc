@@ -1,0 +1,31 @@
+#include "mechanism/privacy_accountant.h"
+
+#include "common/check.h"
+
+namespace dphist {
+
+PrivacyAccountant::PrivacyAccountant(double total_budget)
+    : total_budget_(total_budget) {
+  DPHIST_CHECK_MSG(total_budget > 0.0, "privacy budget must be positive");
+}
+
+bool PrivacyAccountant::CanSpend(double epsilon) const {
+  // Tolerance absorbs accumulated floating-point drift across many spends.
+  return epsilon > 0.0 && spent_ + epsilon <= total_budget_ * (1.0 + 1e-12);
+}
+
+Status PrivacyAccountant::Spend(double epsilon, const std::string& purpose) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (!CanSpend(epsilon)) {
+    return Status::FailedPrecondition(
+        "privacy budget exhausted: requested " + std::to_string(epsilon) +
+        ", remaining " + std::to_string(remaining()));
+  }
+  spent_ += epsilon;
+  ledger_.push_back(Entry{epsilon, purpose});
+  return Status::Ok();
+}
+
+}  // namespace dphist

@@ -1,0 +1,58 @@
+// Sequential-composition privacy accounting.
+//
+// The paper's protocol (Section 2.1): answering the i-th query sequence
+// with an epsilon_i-DP mechanism makes the whole interaction
+// (sum_i epsilon_i)-DP. PrivacyAccountant tracks that sum against a total
+// budget so a data owner can refuse queries that would overspend.
+
+#ifndef DPHIST_MECHANISM_PRIVACY_ACCOUNTANT_H_
+#define DPHIST_MECHANISM_PRIVACY_ACCOUNTANT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dphist {
+
+/// Tracks cumulative epsilon spent across query sequences.
+class PrivacyAccountant {
+ public:
+  /// An accountant with the given total budget (> 0).
+  explicit PrivacyAccountant(double total_budget);
+
+  /// The configured budget.
+  double total_budget() const { return total_budget_; }
+
+  /// Epsilon consumed so far.
+  double spent() const { return spent_; }
+
+  /// Budget still available.
+  double remaining() const { return total_budget_ - spent_; }
+
+  /// True iff a further `epsilon` expenditure fits in the budget.
+  bool CanSpend(double epsilon) const;
+
+  /// Records an expenditure labelled `purpose`. Fails with
+  /// FailedPrecondition (and records nothing) if it exceeds the budget;
+  /// fails with InvalidArgument for non-positive epsilon.
+  Status Spend(double epsilon, const std::string& purpose);
+
+  /// One ledger entry per successful Spend call.
+  struct Entry {
+    double epsilon;
+    std::string purpose;
+  };
+
+  /// The expenditure ledger in order.
+  const std::vector<Entry>& ledger() const { return ledger_; }
+
+ private:
+  double total_budget_;
+  double spent_ = 0.0;
+  std::vector<Entry> ledger_;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_MECHANISM_PRIVACY_ACCOUNTANT_H_

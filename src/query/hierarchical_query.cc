@@ -1,0 +1,28 @@
+#include "query/hierarchical_query.h"
+
+#include "common/check.h"
+
+namespace dphist {
+
+HierarchicalQuery::HierarchicalQuery(std::int64_t domain_size,
+                                     std::int64_t branching)
+    : domain_size_(domain_size), tree_(domain_size, branching) {}
+
+std::vector<double> HierarchicalQuery::Evaluate(const Histogram& data) const {
+  DPHIST_CHECK_MSG(data.size() == domain_size_,
+                   "data domain does not match query domain");
+  std::vector<double> answers(
+      static_cast<std::size_t>(tree_.node_count()), 0.0);
+  // Fill leaves (padding stays zero), then accumulate bottom-up; children
+  // have larger ids than parents so one reverse scan suffices.
+  for (std::int64_t pos = 0; pos < domain_size_; ++pos) {
+    answers[static_cast<std::size_t>(tree_.LeafNode(pos))] = data.At(pos);
+  }
+  for (std::int64_t v = tree_.node_count() - 1; v > 0; --v) {
+    answers[static_cast<std::size_t>(tree_.Parent(v))] +=
+        answers[static_cast<std::size_t>(v)];
+  }
+  return answers;
+}
+
+}  // namespace dphist

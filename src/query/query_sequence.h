@@ -1,0 +1,41 @@
+// Query sequences (Section 2): vectors of counting queries with a known
+// L1 sensitivity.
+//
+// A QuerySequence knows how to evaluate itself on a Histogram (producing
+// the true answer Q(I)) and what its sensitivity Delta-Q is (Definition
+// 2.2). The Laplace mechanism (mechanism/laplace_mechanism.h) turns any
+// QuerySequence into an epsilon-differentially-private randomized answer.
+
+#ifndef DPHIST_QUERY_QUERY_SEQUENCE_H_
+#define DPHIST_QUERY_QUERY_SEQUENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "domain/histogram.h"
+
+namespace dphist {
+
+/// A sequence of counting queries over one ordered domain.
+class QuerySequence {
+ public:
+  virtual ~QuerySequence() = default;
+
+  /// Number of counting queries in the sequence (the d of Proposition 1).
+  virtual std::int64_t size() const = 0;
+
+  /// The true answer Q(I) on the given data.
+  virtual std::vector<double> Evaluate(const Histogram& data) const = 0;
+
+  /// The L1 sensitivity Delta-Q: the largest possible L1 change of the
+  /// answer vector when one record is added to or removed from the data.
+  virtual double Sensitivity() const = 0;
+
+  /// Short name ("L", "H", "S") for reports.
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_QUERY_QUERY_SEQUENCE_H_

@@ -1,0 +1,30 @@
+// The unit-length query sequence L (Section 2):
+//   L = < c([x1]), ..., c([xn]) >
+// one counting query per domain position. Sensitivity 1 (Example 2):
+// adding or removing a record changes exactly one count by exactly one.
+
+#ifndef DPHIST_QUERY_UNIT_QUERY_H_
+#define DPHIST_QUERY_UNIT_QUERY_H_
+
+#include "query/query_sequence.h"
+
+namespace dphist {
+
+/// The conventional histogram query: all unit-length counts in order.
+class UnitQuery : public QuerySequence {
+ public:
+  /// Builds L over a domain of `domain_size` positions.
+  explicit UnitQuery(std::int64_t domain_size);
+
+  std::int64_t size() const override { return domain_size_; }
+  std::vector<double> Evaluate(const Histogram& data) const override;
+  double Sensitivity() const override { return 1.0; }
+  std::string Name() const override { return "L"; }
+
+ private:
+  std::int64_t domain_size_;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_QUERY_UNIT_QUERY_H_

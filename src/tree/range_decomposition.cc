@@ -1,0 +1,41 @@
+#include "tree/range_decomposition.h"
+
+#include "common/check.h"
+
+namespace dphist {
+namespace {
+
+void DecomposeInto(const TreeLayout& tree, std::int64_t node,
+                   const Interval& range, std::vector<std::int64_t>* out) {
+  Interval covered = tree.NodeRange(node);
+  if (!covered.Overlaps(range)) return;
+  if (range.Covers(covered)) {
+    out->push_back(node);
+    return;
+  }
+  DPHIST_DCHECK(!tree.IsLeaf(node));
+  std::int64_t first = tree.FirstChild(node);
+  for (std::int64_t i = 0; i < tree.branching(); ++i) {
+    DecomposeInto(tree, first + i, range, out);
+  }
+}
+
+}  // namespace
+
+std::vector<std::int64_t> DecomposeRange(const TreeLayout& tree,
+                                         const Interval& range) {
+  DPHIST_CHECK_MSG(range.lo() >= 0 && range.hi() < tree.leaf_count(),
+                   "range outside the tree's (padded) domain");
+  std::vector<std::int64_t> out;
+  DecomposeInto(tree, 0, range, &out);
+  return out;
+}
+
+std::int64_t MaxDecompositionSize(const TreeLayout& tree) {
+  // The degenerate single-node tree still decomposes the full range into
+  // one node.
+  std::int64_t bound = 2 * (tree.branching() - 1) * (tree.height() - 1);
+  return bound > 0 ? bound : 1;
+}
+
+}  // namespace dphist

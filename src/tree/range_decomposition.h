@@ -1,0 +1,33 @@
+// Minimal subtree decomposition of a range query.
+//
+// To answer c([x, y]) from the hierarchical sequence H, the natural
+// strategy (Section 4.2) sums the fewest noisy sub-interval counts whose
+// disjoint union equals [x, y]. This module computes that canonical
+// decomposition: the unique minimal antichain of tree nodes covering the
+// range, at most 2(k-1) nodes per level and none above the range's least
+// common ancestor.
+
+#ifndef DPHIST_TREE_RANGE_DECOMPOSITION_H_
+#define DPHIST_TREE_RANGE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "domain/interval.h"
+#include "tree/tree_layout.h"
+
+namespace dphist {
+
+/// Node ids whose subtree ranges are disjoint and union exactly to `range`.
+/// `range` must lie within [0, tree.leaf_count()).
+std::vector<std::int64_t> DecomposeRange(const TreeLayout& tree,
+                                         const Interval& range);
+
+/// Upper bound on the decomposition size for any range in this tree:
+/// 2 (k-1) (ell-1) nodes (two "fringes" of at most k-1 nodes per level
+/// below the root). Used by tests and by the error analysis of H-tilde.
+std::int64_t MaxDecompositionSize(const TreeLayout& tree);
+
+}  // namespace dphist
+
+#endif  // DPHIST_TREE_RANGE_DECOMPOSITION_H_

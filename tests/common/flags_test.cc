@@ -1,0 +1,71 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace dphist {
+namespace {
+
+Flags ParseArgs(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsForm) {
+  Flags f = ParseArgs({"prog", "--trials=50", "--epsilon=0.1"});
+  EXPECT_EQ(f.GetInt("trials", 0), 50);
+  EXPECT_DOUBLE_EQ(f.GetDouble("epsilon", 0.0), 0.1);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  Flags f = ParseArgs({"prog", "--trials", "25"});
+  EXPECT_EQ(f.GetInt("trials", 0), 25);
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  Flags f = ParseArgs({"prog", "--verbose"});
+  EXPECT_TRUE(f.Has("verbose"));
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_FALSE(f.GetBool("absent", false));
+  EXPECT_TRUE(f.GetBool("absent", true));
+}
+
+TEST(FlagsTest, ExplicitFalse) {
+  Flags f = ParseArgs({"prog", "--round=false"});
+  EXPECT_FALSE(f.GetBool("round", true));
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  Flags f = ParseArgs({"prog"});
+  EXPECT_EQ(f.GetInt("trials", 42), 42);
+  EXPECT_DOUBLE_EQ(f.GetDouble("epsilon", 1.5), 1.5);
+  EXPECT_EQ(f.GetString("name", "default"), "default");
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  Flags f = ParseArgs({"prog", "input.csv", "--trials=5", "output.csv"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.csv");
+  EXPECT_EQ(f.positional()[1], "output.csv");
+  EXPECT_EQ(f.program(), "prog");
+}
+
+TEST(FlagsTest, EnvironmentFallback) {
+  ::setenv("DPHIST_TEST_FLAG_ENV", "77", 1);
+  Flags f = ParseArgs({"prog"});
+  EXPECT_EQ(f.GetInt("trials", 1, "DPHIST_TEST_FLAG_ENV"), 77);
+  // Explicit flag wins over the environment.
+  Flags g = ParseArgs({"prog", "--trials=5"});
+  EXPECT_EQ(g.GetInt("trials", 1, "DPHIST_TEST_FLAG_ENV"), 5);
+  ::unsetenv("DPHIST_TEST_FLAG_ENV");
+}
+
+TEST(FlagsTest, FlagFollowedByFlagKeepsBoth) {
+  Flags f = ParseArgs({"prog", "--a", "--b=2"});
+  EXPECT_TRUE(f.Has("a"));
+  EXPECT_EQ(f.GetInt("b", 0), 2);
+}
+
+}  // namespace
+}  // namespace dphist

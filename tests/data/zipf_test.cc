@@ -1,0 +1,82 @@
+#include "data/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace dphist {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfDistribution zipf(100, 1.1);
+  double total = 0.0;
+  for (std::int64_t r = 0; r < 100; ++r) total += zipf.Probability(r);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, ProbabilitiesDecreaseWithRank) {
+  ZipfDistribution zipf(50, 1.3);
+  for (std::int64_t r = 1; r < 50; ++r) {
+    EXPECT_GT(zipf.Probability(r - 1), zipf.Probability(r));
+  }
+}
+
+TEST(ZipfTest, RankRatioMatchesExponent) {
+  ZipfDistribution zipf(1000, 2.0);
+  // P(1)/P(2) = 2^s.
+  EXPECT_NEAR(zipf.Probability(0) / zipf.Probability(1), 4.0, 1e-9);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  ZipfDistribution zipf(10, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t r = zipf.Sample(&rng);
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 10);
+  }
+}
+
+TEST(ZipfTest, EmpiricalFrequencyTracksProbability) {
+  ZipfDistribution zipf(20, 1.2);
+  Rng rng(2);
+  std::vector<std::int64_t> hits(20, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++hits[static_cast<std::size_t>(zipf.Sample(&rng))];
+  for (std::int64_t r = 0; r < 5; ++r) {
+    double freq = static_cast<double>(hits[static_cast<std::size_t>(r)]) / n;
+    EXPECT_NEAR(freq, zipf.Probability(r), 0.01);
+  }
+}
+
+TEST(ZipfTest, SingleRankDistribution) {
+  ZipfDistribution zipf(1, 1.5);
+  Rng rng(3);
+  EXPECT_EQ(zipf.Sample(&rng), 0);
+  EXPECT_NEAR(zipf.Probability(0), 1.0, 1e-12);
+}
+
+TEST(ZipfCountsTest, TotalPreserved) {
+  Rng rng(4);
+  std::vector<std::int64_t> counts = ZipfCounts(100, 1.1, 5000, &rng);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::int64_t{0}),
+            5000);
+}
+
+TEST(ZipfCountsTest, HeadIsHeavierThanTail) {
+  Rng rng(5);
+  std::vector<std::int64_t> counts = ZipfCounts(1000, 1.2, 100000, &rng);
+  std::int64_t head = 0, tail = 0;
+  for (int i = 0; i < 10; ++i) head += counts[static_cast<std::size_t>(i)];
+  for (int i = 990; i < 1000; ++i) tail += counts[static_cast<std::size_t>(i)];
+  EXPECT_GT(head, 20 * std::max<std::int64_t>(tail, 1));
+}
+
+TEST(ZipfCountsTest, ZeroTotalGivesAllZeros) {
+  Rng rng(6);
+  std::vector<std::int64_t> counts = ZipfCounts(10, 1.0, 0, &rng);
+  for (std::int64_t c : counts) EXPECT_EQ(c, 0);
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,101 @@
+#include "domain/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dphist {
+namespace {
+
+TEST(HistogramTest, ZeroConstruction) {
+  Histogram h(Domain(4, "src"));
+  EXPECT_EQ(h.size(), 4);
+  EXPECT_DOUBLE_EQ(h.Total(), 0.0);
+  EXPECT_EQ(h.domain().attribute(), "src");
+}
+
+TEST(HistogramTest, FromCountsAndAccessors) {
+  // The running example of Fig. 2: L(I) = <2, 0, 10, 2>.
+  Histogram h = Histogram::FromCounts({2, 0, 10, 2}, "src");
+  EXPECT_EQ(h.size(), 4);
+  EXPECT_DOUBLE_EQ(h.At(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.At(2), 10.0);
+  EXPECT_DOUBLE_EQ(h.Total(), 14.0);
+}
+
+TEST(HistogramTest, RangeCountsMatchPaperExample) {
+  Histogram h = Histogram::FromCounts({2, 0, 10, 2}, "src");
+  // "the total number of packets is 14"
+  EXPECT_DOUBLE_EQ(h.Count(Interval(0, 3)), 14.0);
+  // "the number of packets from a source address matching prefix 01* is 12"
+  EXPECT_DOUBLE_EQ(h.Count(Interval(2, 3)), 12.0);
+  // "the counts from source address 010 is 10"
+  EXPECT_DOUBLE_EQ(h.Count(Interval::Unit(2)), 10.0);
+  EXPECT_DOUBLE_EQ(h.Count(Interval(0, 1)), 2.0);
+}
+
+TEST(HistogramTest, SetAndIncrementInvalidatePrefix) {
+  Histogram h = Histogram::FromCounts({1, 1, 1});
+  EXPECT_DOUBLE_EQ(h.Count(Interval(0, 2)), 3.0);
+  h.Set(1, 5.0);
+  EXPECT_DOUBLE_EQ(h.Count(Interval(0, 2)), 7.0);
+  h.Increment(0);
+  EXPECT_DOUBLE_EQ(h.Count(Interval(0, 2)), 8.0);
+  h.Increment(2, 2.5);
+  EXPECT_DOUBLE_EQ(h.Count(Interval(0, 2)), 10.5);
+}
+
+TEST(HistogramTest, SortedCountsIsUnattributedHistogram) {
+  Histogram h = Histogram::FromCounts({2, 0, 10, 2});
+  std::vector<double> sorted = h.SortedCounts();
+  // S(I) = <0, 2, 2, 10> (Example 3).
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_DOUBLE_EQ(sorted[0], 0.0);
+  EXPECT_DOUBLE_EQ(sorted[1], 2.0);
+  EXPECT_DOUBLE_EQ(sorted[2], 2.0);
+  EXPECT_DOUBLE_EQ(sorted[3], 10.0);
+}
+
+TEST(HistogramTest, NonZeroAndDistinctCounts) {
+  Histogram h = Histogram::FromCounts({2, 0, 10, 2});
+  EXPECT_EQ(h.NonZeroCount(), 3);
+  EXPECT_EQ(h.DistinctCountValues(), 3);  // {0, 2, 10}
+}
+
+TEST(HistogramTest, RandomRangeAgreesWithNaiveSum) {
+  Rng rng(21);
+  std::vector<double> counts(257);
+  for (double& c : counts) c = rng.NextUniform(0, 10);
+  Histogram h(counts);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::int64_t lo = rng.NextInt(0, 256);
+    std::int64_t hi = rng.NextInt(lo, 256);
+    double naive = 0.0;
+    for (std::int64_t i = lo; i <= hi; ++i) naive += counts[i];
+    EXPECT_NEAR(h.Count(Interval(lo, hi)), naive, 1e-9);
+  }
+}
+
+TEST(HistogramDeathTest, RangeOutsideDomainRejected) {
+  Histogram h = Histogram::FromCounts({1, 2, 3});
+  EXPECT_DEATH(h.Count(Interval(0, 3)), "outside the domain");
+  EXPECT_DEATH(h.At(3), "");
+}
+
+TEST(DomainTest, LabelsFallBackToPositions) {
+  Domain d(3, "grade");
+  EXPECT_EQ(d.LabelAt(1), "1");
+  d.SetLabels({"A", "B", "C"});
+  EXPECT_EQ(d.LabelAt(0), "A");
+  EXPECT_EQ(d.LabelAt(2), "C");
+}
+
+TEST(DomainTest, FullRangeAndContainment) {
+  Domain d(8);
+  EXPECT_EQ(d.FullRange(), Interval(0, 7));
+  EXPECT_TRUE(d.ContainsInterval(Interval(0, 7)));
+  EXPECT_FALSE(d.ContainsInterval(Interval(0, 8)));
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,63 @@
+#include "domain/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace dphist {
+namespace {
+
+TEST(IntervalTest, BasicAccessorsAndLength) {
+  Interval i(3, 7);
+  EXPECT_EQ(i.lo(), 3);
+  EXPECT_EQ(i.hi(), 7);
+  EXPECT_EQ(i.Length(), 5);
+}
+
+TEST(IntervalTest, UnitInterval) {
+  Interval u = Interval::Unit(4);
+  EXPECT_EQ(u.lo(), 4);
+  EXPECT_EQ(u.hi(), 4);
+  EXPECT_EQ(u.Length(), 1);
+}
+
+TEST(IntervalTest, Contains) {
+  Interval i(2, 5);
+  EXPECT_TRUE(i.Contains(2));
+  EXPECT_TRUE(i.Contains(4));
+  EXPECT_TRUE(i.Contains(5));
+  EXPECT_FALSE(i.Contains(1));
+  EXPECT_FALSE(i.Contains(6));
+}
+
+TEST(IntervalTest, Covers) {
+  Interval outer(0, 10);
+  EXPECT_TRUE(outer.Covers(Interval(0, 10)));
+  EXPECT_TRUE(outer.Covers(Interval(3, 7)));
+  EXPECT_FALSE(outer.Covers(Interval(5, 11)));
+  EXPECT_FALSE(Interval(3, 7).Covers(outer));
+}
+
+TEST(IntervalTest, Overlaps) {
+  EXPECT_TRUE(Interval(0, 5).Overlaps(Interval(5, 9)));
+  EXPECT_TRUE(Interval(0, 5).Overlaps(Interval(3, 4)));
+  EXPECT_FALSE(Interval(0, 5).Overlaps(Interval(6, 9)));
+  EXPECT_FALSE(Interval(6, 9).Overlaps(Interval(0, 5)));
+}
+
+TEST(IntervalTest, TouchesIncludesAdjacency) {
+  EXPECT_TRUE(Interval(0, 5).Touches(Interval(6, 9)));
+  EXPECT_TRUE(Interval(6, 9).Touches(Interval(0, 5)));
+  EXPECT_FALSE(Interval(0, 5).Touches(Interval(7, 9)));
+}
+
+TEST(IntervalTest, EqualityAndToString) {
+  EXPECT_EQ(Interval(1, 2), Interval(1, 2));
+  EXPECT_FALSE(Interval(1, 2) == Interval(1, 3));
+  EXPECT_EQ(Interval(1, 2).ToString(), "[1, 2]");
+}
+
+TEST(IntervalDeathTest, RejectsInvertedBounds) {
+  EXPECT_DEATH(Interval(5, 4), "lo <= hi");
+}
+
+}  // namespace
+}  // namespace dphist

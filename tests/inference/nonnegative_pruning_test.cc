@@ -1,0 +1,86 @@
+#include "inference/nonnegative_pruning.h"
+
+#include <gtest/gtest.h>
+
+namespace dphist {
+namespace {
+
+TEST(PruningTest, AllPositiveUntouched) {
+  TreeLayout tree(4, 2);
+  std::vector<double> nodes = {14, 2, 12, 2, 1, 10, 2};  // all > 0
+  EXPECT_EQ(PruneNonPositiveSubtrees(tree, nodes), nodes);
+}
+
+TEST(PruningTest, NonPositiveLeafZeroed) {
+  TreeLayout tree(4, 2);
+  std::vector<double> nodes = {14, 2, 12, 2, -0.4, 10, 2};
+  std::vector<double> pruned = PruneNonPositiveSubtrees(tree, nodes);
+  EXPECT_DOUBLE_EQ(pruned[4], 0.0);
+  // Everything else untouched.
+  EXPECT_DOUBLE_EQ(pruned[0], 14.0);
+  EXPECT_DOUBLE_EQ(pruned[3], 2.0);
+}
+
+TEST(PruningTest, NonPositiveInternalZeroesWholeSubtree) {
+  TreeLayout tree(4, 2);
+  // Node 1 (covering leaves 0-1) is negative: its subtree {1, 3, 4} must
+  // all become zero even though leaf 3 is positive.
+  std::vector<double> nodes = {14, -1, 12, 5, -6, 10, 2};
+  std::vector<double> pruned = PruneNonPositiveSubtrees(tree, nodes);
+  EXPECT_DOUBLE_EQ(pruned[1], 0.0);
+  EXPECT_DOUBLE_EQ(pruned[3], 0.0);
+  EXPECT_DOUBLE_EQ(pruned[4], 0.0);
+  EXPECT_DOUBLE_EQ(pruned[2], 12.0);
+  EXPECT_DOUBLE_EQ(pruned[5], 10.0);
+}
+
+TEST(PruningTest, NonPositiveRootZeroesEverything) {
+  TreeLayout tree(8, 2);
+  std::vector<double> nodes(static_cast<std::size_t>(tree.node_count()), 3.0);
+  nodes[0] = -0.5;
+  std::vector<double> pruned = PruneNonPositiveSubtrees(tree, nodes);
+  for (double v : pruned) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(PruningTest, ExactlyZeroCountsAsNonPositive) {
+  // The paper's rule is h[v] <= 0.
+  TreeLayout tree(2, 2);
+  std::vector<double> nodes = {0.0, 1.0, -1.0};
+  std::vector<double> pruned = PruneNonPositiveSubtrees(tree, nodes);
+  EXPECT_DOUBLE_EQ(pruned[0], 0.0);
+  EXPECT_DOUBLE_EQ(pruned[1], 0.0);
+  EXPECT_DOUBLE_EQ(pruned[2], 0.0);
+}
+
+TEST(PruningTest, DeepCascade) {
+  TreeLayout tree(8, 2);  // 15 nodes
+  std::vector<double> nodes(15, 1.0);
+  nodes[1] = -2.0;  // covers leaves 0-3: nodes 3, 4, 7, 8, 9, 10
+  std::vector<double> pruned = PruneNonPositiveSubtrees(tree, nodes);
+  for (std::int64_t v : {1, 3, 4, 7, 8, 9, 10}) {
+    EXPECT_DOUBLE_EQ(pruned[static_cast<std::size_t>(v)], 0.0) << v;
+  }
+  for (std::int64_t v : {0, 2, 5, 6, 11, 12, 13, 14}) {
+    EXPECT_DOUBLE_EQ(pruned[static_cast<std::size_t>(v)], 1.0) << v;
+  }
+}
+
+TEST(RoundingTest, RoundsToNearestNonNegativeInteger) {
+  std::vector<double> rounded =
+      RoundToNonNegativeIntegers({-3.2, -0.4, 0.0, 0.49, 0.5, 2.51, 7.0});
+  EXPECT_EQ(rounded,
+            (std::vector<double>{0.0, 0.0, 0.0, 0.0, 1.0, 3.0, 7.0}));
+}
+
+TEST(RoundingTest, EmptyInput) {
+  EXPECT_TRUE(RoundToNonNegativeIntegers({}).empty());
+}
+
+TEST(PruningDeathTest, WrongLengthRejected) {
+  TreeLayout tree(4, 2);
+  std::vector<double> wrong(3, 1.0);
+  EXPECT_DEATH(PruneNonPositiveSubtrees(tree, wrong), "");
+}
+
+}  // namespace
+}  // namespace dphist

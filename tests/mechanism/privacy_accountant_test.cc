@@ -1,0 +1,68 @@
+#include "mechanism/privacy_accountant.h"
+
+#include <gtest/gtest.h>
+
+namespace dphist {
+namespace {
+
+TEST(PrivacyAccountantTest, StartsEmpty) {
+  PrivacyAccountant accountant(1.0);
+  EXPECT_DOUBLE_EQ(accountant.total_budget(), 1.0);
+  EXPECT_DOUBLE_EQ(accountant.spent(), 0.0);
+  EXPECT_DOUBLE_EQ(accountant.remaining(), 1.0);
+  EXPECT_TRUE(accountant.ledger().empty());
+}
+
+TEST(PrivacyAccountantTest, SequentialCompositionAccumulates) {
+  PrivacyAccountant accountant(1.0);
+  EXPECT_TRUE(accountant.Spend(0.25, "degree sequence").ok());
+  EXPECT_TRUE(accountant.Spend(0.5, "universal histogram").ok());
+  EXPECT_DOUBLE_EQ(accountant.spent(), 0.75);
+  EXPECT_DOUBLE_EQ(accountant.remaining(), 0.25);
+  ASSERT_EQ(accountant.ledger().size(), 2u);
+  EXPECT_EQ(accountant.ledger()[0].purpose, "degree sequence");
+  EXPECT_DOUBLE_EQ(accountant.ledger()[1].epsilon, 0.5);
+}
+
+TEST(PrivacyAccountantTest, RefusesOverspend) {
+  PrivacyAccountant accountant(1.0);
+  EXPECT_TRUE(accountant.Spend(0.9, "first").ok());
+  Status s = accountant.Spend(0.2, "too much");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  // The failed spend must not be recorded.
+  EXPECT_DOUBLE_EQ(accountant.spent(), 0.9);
+  EXPECT_EQ(accountant.ledger().size(), 1u);
+}
+
+TEST(PrivacyAccountantTest, ExactBudgetIsAllowed) {
+  PrivacyAccountant accountant(1.0);
+  EXPECT_TRUE(accountant.Spend(0.5, "a").ok());
+  EXPECT_TRUE(accountant.Spend(0.5, "b").ok());
+  EXPECT_NEAR(accountant.remaining(), 0.0, 1e-12);
+  EXPECT_FALSE(accountant.CanSpend(0.01));
+}
+
+TEST(PrivacyAccountantTest, ManySmallSpendsWithFloatDrift) {
+  PrivacyAccountant accountant(1.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(accountant.Spend(0.1, "slice").ok()) << "slice " << i;
+  }
+  EXPECT_FALSE(accountant.Spend(0.1, "eleventh").ok());
+}
+
+TEST(PrivacyAccountantTest, RejectsNonPositiveEpsilon) {
+  PrivacyAccountant accountant(1.0);
+  EXPECT_EQ(accountant.Spend(0.0, "zero").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(accountant.Spend(-0.5, "negative").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(accountant.CanSpend(0.0));
+}
+
+TEST(PrivacyAccountantDeathTest, RejectsNonPositiveBudget) {
+  EXPECT_DEATH(PrivacyAccountant(0.0), "positive");
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,175 @@
+#include "tools/cli_commands.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/csv.h"
+
+namespace dphist::cli {
+namespace {
+
+int RunMain(std::initializer_list<const char*> args, std::string* out_text,
+            std::string* err_text) {
+  std::vector<const char*> argv = {"dphist_cli"};
+  argv.insert(argv.end(), args);
+  std::ostringstream out, err;
+  int code = Main(static_cast<int>(argv.size()), argv.data(), out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return code;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CliTest, NoCommandPrintsUsage) {
+  std::string out, err;
+  EXPECT_EQ(RunMain({}, &out, &err), 2);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  std::string out, err;
+  EXPECT_EQ(RunMain({"frobnicate"}, &out, &err), 1);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, MissingFlagsReported) {
+  std::string out, err;
+  EXPECT_EQ(RunMain({"generate", "--dataset", "social"}, &out, &err), 1);
+  EXPECT_NE(err.find("--output"), std::string::npos);
+}
+
+TEST(CliTest, GenerateRejectsUnknownDataset) {
+  std::string out, err;
+  std::string path = TempPath("cli_unknown.csv");
+  EXPECT_EQ(RunMain({"generate", "--dataset", "mars", "--output",
+                     path.c_str()},
+                    &out, &err),
+            1);
+  EXPECT_NE(err.find("unknown dataset"), std::string::npos);
+}
+
+TEST(CliTest, FullPipelineGenerateReleaseQuery) {
+  std::string data_path = TempPath("cli_data.csv");
+  std::string release_path = TempPath("cli_release.csv");
+  std::string out, err;
+
+  ASSERT_EQ(RunMain({"generate", "--dataset", "social", "--output",
+                     data_path.c_str(), "--size", "300"},
+                    &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("wrote 300 counts"), std::string::npos);
+
+  ASSERT_EQ(RunMain({"release-universal", "--input", data_path.c_str(),
+                     "--output", release_path.c_str(), "--epsilon", "0.5"},
+                    &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("released eps=0.5"), std::string::npos);
+
+  // The release is loadable and queryable.
+  auto release = LoadHistogramCsv(release_path);
+  ASSERT_TRUE(release.ok());
+  EXPECT_EQ(release.value().size(), 300);
+
+  ASSERT_EQ(RunMain({"query", "--release", release_path.c_str(), "--lo",
+                     "0", "--hi", "299"},
+                    &out, &err),
+            0)
+      << err;
+  double total = std::strtod(out.c_str(), nullptr);
+  // Degree total of the synthetic graph is ~2 * 3.98 * 300; the eps=0.5
+  // release should land in the right ballpark.
+  EXPECT_GT(total, 500.0);
+  EXPECT_LT(total, 5000.0);
+
+  std::remove(data_path.c_str());
+  std::remove(release_path.c_str());
+}
+
+TEST(CliTest, ReleaseSortedRoundTrip) {
+  std::string data_path = TempPath("cli_sorted_data.csv");
+  std::string release_path = TempPath("cli_sorted_release.csv");
+  std::string out, err;
+  ASSERT_EQ(RunMain({"generate", "--dataset", "nettrace", "--output",
+                     data_path.c_str(), "--size", "512"},
+                    &out, &err),
+            0)
+      << err;
+  ASSERT_EQ(RunMain({"release-sorted", "--input", data_path.c_str(),
+                     "--output", release_path.c_str(), "--epsilon", "1.0"},
+                    &out, &err),
+            0)
+      << err;
+  auto release = LoadHistogramCsv(release_path);
+  ASSERT_TRUE(release.ok());
+  // S-bar output is sorted ascending.
+  const auto& counts = release.value().counts();
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_GE(counts[i] + 1e-9, counts[i - 1]);
+  }
+  std::remove(data_path.c_str());
+  std::remove(release_path.c_str());
+}
+
+TEST(CliTest, ReleaseUniversalValidatesParameters) {
+  std::string data_path = TempPath("cli_param_data.csv");
+  std::string out, err;
+  ASSERT_EQ(RunMain({"generate", "--dataset", "social", "--output",
+                     data_path.c_str(), "--size", "100"},
+                    &out, &err),
+            0);
+  EXPECT_EQ(RunMain({"release-universal", "--input", data_path.c_str(),
+                     "--output", TempPath("x.csv").c_str(), "--epsilon",
+                     "-1"},
+                    &out, &err),
+            1);
+  EXPECT_NE(err.find("epsilon"), std::string::npos);
+  EXPECT_EQ(RunMain({"release-universal", "--input", data_path.c_str(),
+                     "--output", TempPath("x.csv").c_str(), "--epsilon",
+                     "1", "--branching", "1"},
+                    &out, &err),
+            1);
+  EXPECT_NE(err.find("branching"), std::string::npos);
+  std::remove(data_path.c_str());
+}
+
+TEST(CliTest, QueryValidatesBounds) {
+  std::string release_path = TempPath("cli_bounds.csv");
+  {
+    Histogram h({1.0, 2.0, 3.0});
+    ASSERT_TRUE(SaveHistogramCsv(h, release_path).ok());
+  }
+  std::string out, err;
+  EXPECT_EQ(RunMain({"query", "--release", release_path.c_str(), "--lo",
+                     "2", "--hi", "5"},
+                    &out, &err),
+            1);
+  EXPECT_NE(err.find("out of bounds"), std::string::npos);
+  EXPECT_EQ(RunMain({"query", "--release", release_path.c_str(), "--lo",
+                     "0", "--hi", "2"},
+                    &out, &err),
+            0);
+  EXPECT_EQ(std::strtod(out.c_str(), nullptr), 6.0);
+  std::remove(release_path.c_str());
+}
+
+TEST(CliTest, MissingInputFileSurfacesIoError) {
+  std::string out, err;
+  EXPECT_EQ(RunMain({"release-sorted", "--input",
+                     TempPath("nope.csv").c_str(), "--output",
+                     TempPath("out.csv").c_str(), "--epsilon", "1"},
+                    &out, &err),
+            1);
+  EXPECT_NE(err.find("error:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dphist::cli

@@ -1,0 +1,178 @@
+#include "tools/cli_commands.h"
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/csv.h"
+#include "data/nettrace.h"
+#include "data/search_logs.h"
+#include "data/social_network.h"
+#include "domain/histogram.h"
+#include "estimators/unattributed.h"
+#include "estimators/universal.h"
+
+namespace dphist::cli {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: dphist_cli <command> [flags]\n"
+    "\n"
+    "commands:\n"
+    "  generate          --dataset nettrace|social|searchlogs --output P\n"
+    "                    [--size N] [--seed S]\n"
+    "  release-universal --input P --output P --epsilon E [--branching K]\n"
+    "                    [--no-prune] [--no-round] [--seed S]\n"
+    "  release-sorted    --input P --output P --epsilon E [--seed S]\n"
+    "  query             --release P --lo X --hi Y\n";
+
+Status RequireFlag(const Flags& flags, const std::string& name) {
+  if (!flags.Has(name)) {
+    return Status::InvalidArgument("missing required flag --" + name);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status RunGenerate(const Flags& flags, std::ostream& out) {
+  for (const char* required : {"dataset", "output"}) {
+    Status s = RequireFlag(flags, required);
+    if (!s.ok()) return s;
+  }
+  std::string dataset = flags.GetString("dataset", "");
+  std::string output = flags.GetString("output", "");
+  std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  std::int64_t size = flags.GetInt("size", 0);
+
+  Histogram data = Histogram::FromCounts({0});
+  if (dataset == "nettrace") {
+    NetTraceConfig config;
+    if (size > 0) {
+      config.num_hosts = size;
+      config.num_connections = size * 5;
+    }
+    config.seed = seed;
+    data = GenerateNetTrace(config);
+  } else if (dataset == "social") {
+    SocialNetworkConfig config;
+    if (size > 0) config.num_nodes = size;
+    config.seed = seed;
+    data = GenerateSocialNetworkDegrees(config);
+  } else if (dataset == "searchlogs") {
+    TemporalSeriesConfig config;
+    if (size > 0) config.num_slots = size;
+    config.seed = seed;
+    data = GenerateTemporalSeries(config);
+  } else {
+    return Status::InvalidArgument("unknown dataset: " + dataset);
+  }
+  Status s = SaveHistogramCsv(data, output);
+  if (!s.ok()) return s;
+  out << "wrote " << data.size() << " counts (total " << data.Total()
+      << ") to " << output << "\n";
+  return Status::Ok();
+}
+
+Status RunReleaseUniversal(const Flags& flags, std::ostream& out) {
+  for (const char* required : {"input", "output", "epsilon"}) {
+    Status s = RequireFlag(flags, required);
+    if (!s.ok()) return s;
+  }
+  auto data = LoadHistogramCsv(flags.GetString("input", ""));
+  if (!data.ok()) return data.status();
+
+  UniversalOptions options;
+  options.epsilon = flags.GetDouble("epsilon", 1.0);
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  options.branching = flags.GetInt("branching", 2);
+  if (options.branching < 2) {
+    return Status::InvalidArgument("branching must be >= 2");
+  }
+  options.prune_nonpositive_subtrees = !flags.GetBool("no-prune", false);
+  options.round_to_nonnegative_integers = !flags.GetBool("no-round", false);
+
+  Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
+  HBarEstimator estimator(data.value(), options, &rng);
+  Histogram release(estimator.leaf_estimates(),
+                    data.value().domain().attribute());
+  Status s = SaveHistogramCsv(release, flags.GetString("output", ""));
+  if (!s.ok()) return s;
+  out << "released eps=" << options.epsilon << " universal histogram over "
+      << release.size() << " positions (tree height "
+      << estimator.tree().height() << ") to "
+      << flags.GetString("output", "") << "\n";
+  return Status::Ok();
+}
+
+Status RunReleaseSorted(const Flags& flags, std::ostream& out) {
+  for (const char* required : {"input", "output", "epsilon"}) {
+    Status s = RequireFlag(flags, required);
+    if (!s.ok()) return s;
+  }
+  auto data = LoadHistogramCsv(flags.GetString("input", ""));
+  if (!data.ok()) return data.status();
+  double epsilon = flags.GetDouble("epsilon", 1.0);
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
+  std::vector<double> noisy =
+      SampleNoisySortedCounts(data.value(), epsilon, &rng);
+  std::vector<double> sbar =
+      ApplyUnattributedEstimator(UnattributedEstimator::kSBar, noisy);
+  Histogram release(std::move(sbar), "rank");
+  Status s = SaveHistogramCsv(release, flags.GetString("output", ""));
+  if (!s.ok()) return s;
+  out << "released eps=" << epsilon << " sorted histogram of "
+      << release.size() << " counts to " << flags.GetString("output", "")
+      << "\n";
+  return Status::Ok();
+}
+
+Status RunQuery(const Flags& flags, std::ostream& out) {
+  for (const char* required : {"release", "lo", "hi"}) {
+    Status s = RequireFlag(flags, required);
+    if (!s.ok()) return s;
+  }
+  auto release = LoadHistogramCsv(flags.GetString("release", ""));
+  if (!release.ok()) return release.status();
+  std::int64_t lo = flags.GetInt("lo", 0);
+  std::int64_t hi = flags.GetInt("hi", 0);
+  if (lo > hi || lo < 0 || hi >= release.value().size()) {
+    return Status::OutOfRange("query range out of bounds");
+  }
+  out << release.value().Count(Interval(lo, hi)) << "\n";
+  return Status::Ok();
+}
+
+int Main(int argc, const char* const* argv, std::ostream& out,
+         std::ostream& err) {
+  Flags flags = Flags::Parse(argc, argv);
+  if (flags.positional().empty()) {
+    err << kUsage;
+    return 2;
+  }
+  const std::string& command = flags.positional()[0];
+  Status status = Status::InvalidArgument("unknown command: " + command);
+  if (command == "generate") {
+    status = RunGenerate(flags, out);
+  } else if (command == "release-universal") {
+    status = RunReleaseUniversal(flags, out);
+  } else if (command == "release-sorted") {
+    status = RunReleaseSorted(flags, out);
+  } else if (command == "query") {
+    status = RunQuery(flags, out);
+  }
+  if (!status.ok()) {
+    err << "error: " << status.ToString() << "\n";
+    if (status.code() == StatusCode::kInvalidArgument) err << kUsage;
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace dphist::cli

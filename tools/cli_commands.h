@@ -1,0 +1,44 @@
+// Implementations behind the dphist command-line tool. Kept as a library
+// so every command is unit-testable; tools/dphist_cli.cc is a thin main.
+//
+// Commands:
+//   generate          synthesize a dataset to CSV
+//   release-universal publish an epsilon-DP universal histogram (H-bar)
+//   release-sorted    publish an epsilon-DP unattributed histogram (S-bar)
+//   query             answer a range count from a published histogram
+
+#ifndef DPHIST_TOOLS_CLI_COMMANDS_H_
+#define DPHIST_TOOLS_CLI_COMMANDS_H_
+
+#include <ostream>
+
+#include "common/flags.h"
+#include "common/status.h"
+
+namespace dphist::cli {
+
+/// `generate --dataset nettrace|social|searchlogs --output PATH
+///  [--size N] [--seed S]`
+Status RunGenerate(const Flags& flags, std::ostream& out);
+
+/// `release-universal --input PATH --output PATH --epsilon E
+///  [--branching K] [--no-prune] [--no-round] [--seed S]`
+/// Writes the H-bar per-position estimates as a histogram CSV.
+Status RunReleaseUniversal(const Flags& flags, std::ostream& out);
+
+/// `release-sorted --input PATH --output PATH --epsilon E [--seed S]`
+/// Writes the S-bar estimate of the sorted (unattributed) histogram.
+Status RunReleaseSorted(const Flags& flags, std::ostream& out);
+
+/// `query --release PATH --lo X --hi Y`
+/// Sums the published per-position estimates over [lo, hi].
+Status RunQuery(const Flags& flags, std::ostream& out);
+
+/// Dispatches on the first positional argument; prints usage on error.
+/// Returns a process exit code.
+int Main(int argc, const char* const* argv, std::ostream& out,
+         std::ostream& err);
+
+}  // namespace dphist::cli
+
+#endif  // DPHIST_TOOLS_CLI_COMMANDS_H_

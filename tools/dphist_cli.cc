@@ -1,0 +1,10 @@
+// dphist command-line tool: synthesize data, publish differentially
+// private histogram releases, and query them. See --help / usage output.
+
+#include <iostream>
+
+#include "tools/cli_commands.h"
+
+int main(int argc, char** argv) {
+  return dphist::cli::Main(argc, argv, std::cout, std::cerr);
+}
