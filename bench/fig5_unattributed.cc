@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
   UnattributedExperimentConfig config;
   config.trials = flags.GetInt("trials", 50, "DPHIST_TRIALS");
+  config.threads = flags.GetInt("threads", 0, "DPHIST_THREADS");
   std::int64_t scale = flags.GetInt("scale", 1, "DPHIST_SCALE");
 
   // The paper's datasets (Section 5.1): NetTrace (~65K external hosts),

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   UniversalExperimentConfig config;
   config.trials = flags.GetInt("trials", 50, "DPHIST_TRIALS");
   config.ranges_per_size = flags.GetInt("ranges", 1000, "DPHIST_RANGES");
+  config.threads = flags.GetInt("threads", 0, "DPHIST_THREADS");
   std::int64_t scale = flags.GetInt("scale", 1, "DPHIST_SCALE");
 
   NetTraceConfig nettrace;

@@ -1,0 +1,195 @@
+// Micro-benchmark of the range-answering hot path, emitting machine-
+// readable JSON so BENCH_range_query.json can track the performance
+// trajectory across PRs (see tools/run_bench.sh).
+//
+// For each domain size 2^10 .. 2^20 it measures queries/sec of the
+// batched RangeCounts path for L~, H~, and H-bar, plus two H-bar
+// reference paths:
+//   "prefix"         the O(1) prefix-sum fast path (consistent tree),
+//   "decomposition"  the allocation-free O(k log_k n) subtree walk,
+//   "legacy_alloc"   the old DecomposeRange-per-query answering loop.
+// The summary records the prefix-vs-decomposition speedup at the largest
+// domain — the acceptance metric for the fast path.
+//
+// Flags: --min-log2/--max-log2 (domain sweep), --queries (workload size),
+// --min-time-ms (per measurement), --epsilon; DPHIST_* env equivalents.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "data/zipf.h"
+#include "domain/histogram.h"
+#include "estimators/range_engine.h"
+#include "estimators/universal.h"
+#include "mechanism/laplace_mechanism.h"
+#include "query/hierarchical_query.h"
+#include "tree/range_decomposition.h"
+
+using namespace dphist;  // NOLINT(build/namespaces)
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs `body` (which answers `queries_per_pass` queries) until
+/// `min_seconds` has elapsed; returns queries answered per second.
+template <typename Body>
+double MeasureQps(std::int64_t queries_per_pass, double min_seconds,
+                  Body&& body) {
+  body();  // warm-up
+  std::int64_t passes = 0;
+  double start = NowSeconds();
+  double elapsed = 0.0;
+  do {
+    body();
+    ++passes;
+    elapsed = NowSeconds() - start;
+  } while (elapsed < min_seconds);
+  return static_cast<double>(passes * queries_per_pass) / elapsed;
+}
+
+struct ResultRow {
+  std::int64_t domain_log2;
+  std::string estimator;
+  std::string path;
+  double qps;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const std::int64_t min_log2 = flags.GetInt("min-log2", 10, "DPHIST_MIN_LOG2");
+  const std::int64_t max_log2 = flags.GetInt("max-log2", 20, "DPHIST_MAX_LOG2");
+  const std::int64_t queries = flags.GetInt("queries", 4096, "DPHIST_QUERIES");
+  const double min_time =
+      static_cast<double>(flags.GetInt("min-time-ms", 200,
+                                       "DPHIST_MIN_TIME_MS")) /
+      1000.0;
+  const double epsilon = flags.GetDouble("epsilon", 0.1, "DPHIST_EPSILON");
+
+  std::vector<ResultRow> rows;
+  double prefix_qps_at_max = 0.0;
+  double decomposition_qps_at_max = 0.0;
+
+  for (std::int64_t log2 = min_log2; log2 <= max_log2; log2 += 2) {
+    const std::int64_t n = std::int64_t{1} << log2;
+    Rng data_rng(42);
+    Histogram data = Histogram::FromCounts(ZipfCounts(n, 1.1, 5 * n,
+                                                      &data_rng));
+
+    UniversalOptions options;
+    options.epsilon = epsilon;
+    options.branching = 2;
+    // Pure-inference configuration: the tree stays exactly consistent, so
+    // H-bar's O(1) prefix path engages (rounding/pruning would fall back
+    // to the decomposition walk, measured separately below).
+    options.round_to_nonnegative_integers = false;
+    options.prune_nonpositive_subtrees = false;
+
+    Rng rng(7);
+    LTildeEstimator l_tilde(data, options, &rng);
+    HierarchicalQuery h_query(n, options.branching);
+    LaplaceMechanism mechanism(epsilon);
+    std::vector<double> noisy = mechanism.AnswerQuery(h_query, data, &rng);
+    HTildeEstimator h_tilde(n, options, noisy);
+    HBarEstimator h_bar(n, options, noisy);
+    // The "prefix" rows below are meaningless if the fast path silently
+    // disengaged — fail loudly instead of mislabeling the measurement.
+    DPHIST_CHECK(h_bar.uses_prefix_fast_path());
+
+    // Mixed workload: random sizes and locations across the whole domain.
+    Rng workload_rng(13);
+    std::vector<Interval> workload;
+    workload.reserve(static_cast<std::size_t>(queries));
+    for (std::int64_t i = 0; i < queries; ++i) {
+      std::int64_t lo = workload_rng.NextInt(0, n - 1);
+      std::int64_t hi = workload_rng.NextInt(lo, n - 1);
+      workload.emplace_back(lo, hi);
+    }
+    std::vector<double> answers(workload.size());
+
+    auto batched = [&](const RangeCountEstimator& est) {
+      return MeasureQps(queries, min_time, [&] {
+        est.RangeCountsInto(workload.data(), workload.size(),
+                            answers.data());
+      });
+    };
+    rows.push_back({log2, "L~", "prefix", batched(l_tilde)});
+    rows.push_back({log2, "H~", "decomposition", batched(h_tilde)});
+
+    const double prefix_qps = batched(h_bar);
+    rows.push_back({log2, "H-bar", "prefix", prefix_qps});
+
+    const double decomposition_qps = MeasureQps(queries, min_time, [&] {
+      for (std::size_t i = 0; i < workload.size(); ++i) {
+        answers[i] = h_bar.RangeCountViaDecomposition(workload[i]);
+      }
+    });
+    rows.push_back({log2, "H-bar", "decomposition", decomposition_qps});
+
+    const TreeLayout& tree = h_bar.tree();
+    const std::vector<double>& nodes = h_bar.node_estimates();
+    const double legacy_qps = MeasureQps(queries, min_time, [&] {
+      for (std::size_t i = 0; i < workload.size(); ++i) {
+        double total = 0.0;
+        for (std::int64_t v : DecomposeRange(tree, workload[i])) {
+          total += nodes[static_cast<std::size_t>(v)];
+        }
+        answers[i] = total;
+      }
+    });
+    rows.push_back({log2, "H-bar", "legacy_alloc", legacy_qps});
+
+    // The sweep ascends, so the last iteration is the largest domain.
+    prefix_qps_at_max = prefix_qps;
+    decomposition_qps_at_max = decomposition_qps;
+    std::fprintf(stderr, "measured 2^%lld (n=%lld)\n",
+                 static_cast<long long>(log2), static_cast<long long>(n));
+  }
+
+  // Emit JSON on stdout (stderr carries progress so redirection is clean).
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"micro_range_query\",\n");
+  std::printf("  \"build\": \"%s\",\n",
+#ifdef NDEBUG
+              "Release"
+#else
+              "Debug"
+#endif
+  );
+  std::printf("  \"epsilon\": %g,\n", epsilon);
+  std::printf("  \"queries_per_batch\": %lld,\n",
+              static_cast<long long>(queries));
+  std::printf("  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::printf(
+        "    {\"domain_log2\": %lld, \"estimator\": \"%s\", "
+        "\"path\": \"%s\", \"queries_per_sec\": %.6g}%s\n",
+        static_cast<long long>(rows[i].domain_log2),
+        rows[i].estimator.c_str(), rows[i].path.c_str(), rows[i].qps,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"summary\": {\n");
+  std::printf("    \"hbar_prefix_qps_at_max_domain\": %.6g,\n",
+              prefix_qps_at_max);
+  std::printf("    \"hbar_decomposition_qps_at_max_domain\": %.6g,\n",
+              decomposition_qps_at_max);
+  std::printf("    \"hbar_prefix_speedup_at_max_domain\": %.3f\n",
+              decomposition_qps_at_max > 0.0
+                  ? prefix_qps_at_max / decomposition_qps_at_max
+                  : 0.0);
+  std::printf("  }\n");
+  std::printf("}\n");
+  return 0;
+}

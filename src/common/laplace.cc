@@ -33,8 +33,24 @@ double LaplaceDistribution::Sample(Rng* rng) const {
 std::vector<double> LaplaceDistribution::SampleVector(std::size_t n,
                                                       Rng* rng) const {
   std::vector<double> out(n);
-  for (std::size_t i = 0; i < n; ++i) out[i] = Sample(rng);
+  SampleInto(out.data(), n, rng);
   return out;
+}
+
+void LaplaceDistribution::SampleInto(double* out, std::size_t n,
+                                     Rng* rng) const {
+  DPHIST_CHECK(rng != nullptr);
+  DPHIST_CHECK(n == 0 || out != nullptr);
+  for (std::size_t i = 0; i < n; ++i) out[i] = Quantile(rng->NextOpenDouble());
+}
+
+void LaplaceDistribution::AddSamplesTo(double* values, std::size_t n,
+                                       Rng* rng) const {
+  DPHIST_CHECK(rng != nullptr);
+  DPHIST_CHECK(n == 0 || values != nullptr);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] += Quantile(rng->NextOpenDouble());
+  }
 }
 
 }  // namespace dphist

@@ -41,6 +41,15 @@ class LaplaceDistribution {
   /// Draws `n` i.i.d. samples.
   std::vector<double> SampleVector(std::size_t n, Rng* rng) const;
 
+  /// Batched form: fills out[0..n) with i.i.d. samples. Consumes exactly
+  /// the same rng stream as n calls to Sample, with no allocation.
+  void SampleInto(double* out, std::size_t n, Rng* rng) const;
+
+  /// Batched perturbation: adds an independent sample to each of
+  /// values[0..n) in place — the Laplace-mechanism inner loop without an
+  /// intermediate noise vector or output copy.
+  void AddSamplesTo(double* values, std::size_t n, Rng* rng) const;
+
  private:
   double scale_;
 };

@@ -1,0 +1,61 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dphist {
+
+std::int64_t ResolveThreadCount(std::int64_t configured) {
+  if (configured >= 1) return configured;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::int64_t>(hw);
+}
+
+void ParallelFor(std::int64_t task_count, std::int64_t threads,
+                 const std::function<void(std::int64_t)>& fn) {
+  DPHIST_CHECK(task_count >= 0);
+  DPHIST_CHECK(fn != nullptr);
+  if (task_count == 0) return;
+  threads = std::min(ResolveThreadCount(threads), task_count);
+  if (threads <= 1) {
+    for (std::int64_t i = 0; i < task_count; ++i) fn(i);
+    return;
+  }
+
+  // Work-stealing over a shared counter: workers pull the next unclaimed
+  // task index until none remain. Scheduling order is nondeterministic,
+  // but tasks write to disjoint slots so results never depend on it. A
+  // task that throws would std::terminate its worker thread, so the
+  // first exception is captured and rethrown to the caller after the
+  // join — matching what the sequential path above does naturally.
+  std::atomic<std::int64_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&]() {
+    while (true) {
+      std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= task_count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads - 1));
+  for (std::int64_t t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();  // The calling thread is the last worker.
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace dphist

@@ -1,0 +1,33 @@
+// Deterministic parallel task execution for the experiment harness.
+//
+// The runners parallelize over *trials*: each trial owns a pre-forked Rng
+// and writes results into its own slot, so the outcome is a pure function
+// of the task index regardless of which worker executes it or in what
+// order. That is what keeps parallel runs bit-identical to sequential
+// ones — ParallelFor itself only supplies the workers.
+
+#ifndef DPHIST_COMMON_PARALLEL_H_
+#define DPHIST_COMMON_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace dphist {
+
+/// Resolves a user-facing thread-count knob: values >= 1 pass through,
+/// 0 (or negative) means "use the hardware concurrency" (at least 1).
+std::int64_t ResolveThreadCount(std::int64_t configured);
+
+/// Runs fn(i) for every i in [0, task_count), using up to `threads`
+/// workers (the calling thread counts as one). Tasks must be independent:
+/// they may share read-only state but must write only to disjoint slots.
+/// threads <= 1 degenerates to a plain sequential loop with no thread
+/// creation. Blocks until every task has finished. If a task throws, the
+/// first exception is rethrown to the caller once all workers have
+/// stopped (remaining queued tasks may be skipped).
+void ParallelFor(std::int64_t task_count, std::int64_t threads,
+                 const std::function<void(std::int64_t)>& fn);
+
+}  // namespace dphist
+
+#endif  // DPHIST_COMMON_PARALLEL_H_

@@ -20,6 +20,13 @@ namespace dphist {
 
 /// Counts over an ordered domain, with O(1) range sums after the first
 /// range query (lazy prefix table, invalidated on mutation).
+///
+/// Thread safety: const accessors are safe to share across threads
+/// EXCEPT that the *first* Count()/Total() call materializes the prefix
+/// table under the hood — concurrent first use is a data race. Callers
+/// that share a Histogram across workers must either issue one range
+/// query before fanning out or avoid Count() in the workers (the
+/// experiment runners build their own truth prefix for this reason).
 class Histogram {
  public:
   /// A zero histogram over `domain`.

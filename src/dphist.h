@@ -11,6 +11,7 @@
 
 // Substrate.
 #include "common/laplace.h"      // IWYU pragma: export
+#include "common/parallel.h"     // IWYU pragma: export
 #include "common/rng.h"          // IWYU pragma: export
 #include "common/statistics.h"   // IWYU pragma: export
 #include "common/status.h"       // IWYU pragma: export

@@ -4,6 +4,20 @@
 
 namespace dphist {
 
+void RangeCountEstimator::RangeCountsInto(const Interval* ranges,
+                                          std::size_t count,
+                                          double* out) const {
+  DPHIST_CHECK(count == 0 || (ranges != nullptr && out != nullptr));
+  for (std::size_t i = 0; i < count; ++i) out[i] = RangeCount(ranges[i]);
+}
+
+std::vector<double> RangeCountEstimator::RangeCounts(
+    const std::vector<Interval>& ranges) const {
+  std::vector<double> out(ranges.size());
+  RangeCountsInto(ranges.data(), ranges.size(), out.data());
+  return out;
+}
+
 std::vector<Interval> RandomRangesOfSize(std::int64_t domain_size,
                                          std::int64_t size,
                                          std::int64_t count, Rng* rng) {

@@ -4,6 +4,7 @@
 #ifndef DPHIST_ESTIMATORS_RANGE_ENGINE_H_
 #define DPHIST_ESTIMATORS_RANGE_ENGINE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -20,6 +21,16 @@ class RangeCountEstimator {
 
   /// Estimated count for the range.
   virtual double RangeCount(const Interval& range) const = 0;
+
+  /// Batched answering: fills `out[i]` with the answer for `ranges[i]`.
+  /// The default forwards to RangeCount once per range; estimators
+  /// override it with a tight loop so a whole workload pays one virtual
+  /// dispatch and no per-query allocation.
+  virtual void RangeCountsInto(const Interval* ranges, std::size_t count,
+                               double* out) const;
+
+  /// Convenience form of the batched path.
+  std::vector<double> RangeCounts(const std::vector<Interval>& ranges) const;
 
   /// Short name for reports ("L~", "H~", "H-bar", ...).
   virtual std::string Name() const = 0;

@@ -1,5 +1,7 @@
 #include "estimators/universal.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/check.h"
@@ -51,6 +53,13 @@ double LTildeEstimator::RangeCount(const Interval& range) const {
   return RoundAnswer(PrefixRangeSum(prefix_, range), round_answers_);
 }
 
+void LTildeEstimator::RangeCountsInto(const Interval* ranges,
+                                      std::size_t count, double* out) const {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = RoundAnswer(PrefixRangeSum(prefix_, ranges[i]), round_answers_);
+  }
+}
+
 HTildeEstimator::HTildeEstimator(const Histogram& data,
                                  const UniversalOptions& options, Rng* rng)
     : round_answers_(options.round_to_nonnegative_integers),
@@ -73,14 +82,23 @@ HTildeEstimator::HTildeEstimator(std::int64_t domain_size,
       "noisy node vector does not match the tree");
 }
 
-double HTildeEstimator::RangeCount(const Interval& range) const {
+double HTildeEstimator::RangeCountImpl(const Interval& range) const {
   DPHIST_CHECK_MSG(range.lo() >= 0 && range.hi() < domain_size_,
                    "range outside the estimator's domain");
   double total = 0.0;
-  for (std::int64_t v : DecomposeRange(tree_, range)) {
+  ForEachRangeNode(tree_, range, [&](std::int64_t v) {
     total += nodes_[static_cast<std::size_t>(v)];
-  }
+  });
   return RoundAnswer(total, round_answers_);
+}
+
+double HTildeEstimator::RangeCount(const Interval& range) const {
+  return RangeCountImpl(range);
+}
+
+void HTildeEstimator::RangeCountsInto(const Interval* ranges,
+                                      std::size_t count, double* out) const {
+  for (std::size_t i = 0; i < count; ++i) out[i] = RangeCountImpl(ranges[i]);
 }
 
 HBarEstimator::HBarEstimator(const Histogram& data,
@@ -113,16 +131,86 @@ void HBarEstimator::FinishConstruction(
     nodes_ = RoundToNonNegativeIntegers(nodes_);
   }
   leaves_ = LeafEstimates(tree_, nodes_, domain_size_);
+
+  // Inference makes the tree exactly consistent; pruning and rounding can
+  // re-break it. The fast path answers a range as a difference of two
+  // leaf prefix sums, which equals the decomposition answer iff every
+  // node that could appear in a decomposition agrees with the sum of its
+  // leaf descendants. Verify exactly that, node by node against the
+  // prefix array — a per-parent tolerance would let tiny violations
+  // compound over a subtree, this per-node check cannot: any range's two
+  // answers then differ by at most (decomposition size) * tolerance.
+  // Only nodes fully inside the real (unpadded) domain matter: a
+  // decomposition of an in-domain range never touches padding.
+  prefix_ = PrefixSums(leaves_);
+  double max_abs = 0.0;
+  for (double v : nodes_) max_abs = std::max(max_abs, std::abs(v));
+  const double tolerance = 1e-9 * std::max(1.0, max_abs);
+  consistent_ = true;
+  std::int64_t width = tree_.leaf_count();
+  for (std::int64_t depth = 0; depth < tree_.height() && consistent_;
+       ++depth) {
+    const std::int64_t level_start = tree_.LevelStart(depth);
+    const std::int64_t level_size = tree_.LevelSize(depth);
+    for (std::int64_t i = 0; i < level_size; ++i) {
+      const std::int64_t lo = i * width;
+      if (lo + width > domain_size_) break;  // rest of level hits padding
+      const double from_prefix =
+          prefix_[static_cast<std::size_t>(lo + width)] -
+          prefix_[static_cast<std::size_t>(lo)];
+      if (std::abs(nodes_[static_cast<std::size_t>(level_start + i)] -
+                   from_prefix) > tolerance) {
+        consistent_ = false;
+        break;
+      }
+    }
+    width /= tree_.branching();
+  }
+  if (!consistent_) {
+    prefix_.clear();
+    prefix_.shrink_to_fit();
+  }
 }
 
-double HBarEstimator::RangeCount(const Interval& range) const {
+double HBarEstimator::DecompositionAnswer(const Interval& range) const {
   DPHIST_CHECK_MSG(range.lo() >= 0 && range.hi() < domain_size_,
                    "range outside the estimator's domain");
   double total = 0.0;
-  for (std::int64_t v : DecomposeRange(tree_, range)) {
+  ForEachRangeNode(tree_, range, [&](std::int64_t v) {
     total += nodes_[static_cast<std::size_t>(v)];
-  }
+  });
   return total;
+}
+
+double HBarEstimator::RangeCount(const Interval& range) const {
+  if (consistent_) {
+    DPHIST_CHECK_MSG(range.lo() >= 0 && range.hi() < domain_size_,
+                     "range outside the estimator's domain");
+    return prefix_[static_cast<std::size_t>(range.hi()) + 1] -
+           prefix_[static_cast<std::size_t>(range.lo())];
+  }
+  return DecompositionAnswer(range);
+}
+
+void HBarEstimator::RangeCountsInto(const Interval* ranges, std::size_t count,
+                                    double* out) const {
+  if (consistent_) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const Interval& q = ranges[i];
+      DPHIST_CHECK_MSG(q.lo() >= 0 && q.hi() < domain_size_,
+                       "range outside the estimator's domain");
+      out[i] = prefix_[static_cast<std::size_t>(q.hi()) + 1] -
+               prefix_[static_cast<std::size_t>(q.lo())];
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = DecompositionAnswer(ranges[i]);
+  }
+}
+
+double HBarEstimator::RangeCountViaDecomposition(const Interval& range) const {
+  return DecompositionAnswer(range);
 }
 
 }  // namespace dphist

@@ -56,6 +56,8 @@ class LTildeEstimator : public RangeCountEstimator {
                   Rng* rng);
 
   double RangeCount(const Interval& range) const override;
+  void RangeCountsInto(const Interval* ranges, std::size_t count,
+                       double* out) const override;
   std::string Name() const override { return "L~"; }
 
   /// Raw noisy per-position answers (rounding happens per range answer).
@@ -80,6 +82,8 @@ class HTildeEstimator : public RangeCountEstimator {
                   std::vector<double> noisy_nodes);
 
   double RangeCount(const Interval& range) const override;
+  void RangeCountsInto(const Interval* ranges, std::size_t count,
+                       double* out) const override;
   std::string Name() const override { return "H~"; }
 
   /// Tree geometry (shared with HBar when comparing like-for-like).
@@ -89,6 +93,10 @@ class HTildeEstimator : public RangeCountEstimator {
   const std::vector<double>& node_answers() const { return nodes_; }
 
  private:
+  /// Non-virtual core shared by the scalar and batched entry points so
+  /// the batched loop pays no per-query virtual dispatch.
+  double RangeCountImpl(const Interval& range) const;
+
   bool round_answers_;
   std::int64_t domain_size_;
   TreeLayout tree_;
@@ -103,6 +111,13 @@ class HTildeEstimator : public RangeCountEstimator {
 /// with them on, decomposition keeps the non-negativity clipping at the
 /// subtree level — clipping at the leaf level instead would add a
 /// positive bias proportional to the range length across sparse regions.
+///
+/// Performance: construction detects whether the final node estimates are
+/// exactly consistent (they are whenever pruning and rounding leave the
+/// inference output untouched). If so, every decomposition answer equals
+/// a difference of two leaf prefix sums, so RangeCount runs in O(1);
+/// otherwise it falls back to the allocation-free O(k log_k n)
+/// decomposition walk. Both paths allocate nothing per query.
 class HBarEstimator : public RangeCountEstimator {
  public:
   HBarEstimator(const Histogram& data, const UniversalOptions& options,
@@ -115,7 +130,18 @@ class HBarEstimator : public RangeCountEstimator {
                 const std::vector<double>& noisy_nodes);
 
   double RangeCount(const Interval& range) const override;
+  void RangeCountsInto(const Interval* ranges, std::size_t count,
+                       double* out) const override;
   std::string Name() const override { return "H-bar"; }
+
+  /// The answer computed by walking the minimal subtree decomposition —
+  /// the reference path the O(1) prefix-sum fast path must agree with.
+  /// Exposed for equivalence tests and benchmarks.
+  double RangeCountViaDecomposition(const Interval& range) const;
+
+  /// True when construction proved the node estimates exactly consistent,
+  /// enabling the O(1) prefix-sum answer path.
+  bool uses_prefix_fast_path() const { return consistent_; }
 
   const TreeLayout& tree() const { return tree_; }
 
@@ -131,10 +157,17 @@ class HBarEstimator : public RangeCountEstimator {
   void FinishConstruction(const UniversalOptions& options,
                           const std::vector<double>& noisy_nodes);
 
+  /// Non-virtual decomposition walk shared by the fallback paths and
+  /// RangeCountViaDecomposition.
+  double DecompositionAnswer(const Interval& range) const;
+
   std::int64_t domain_size_;
   TreeLayout tree_;
   std::vector<double> nodes_;
   std::vector<double> leaves_;
+  /// prefix_[i] = sum of leaves_[0..i); drives the O(1) answer path.
+  std::vector<double> prefix_;
+  bool consistent_ = false;
 };
 
 }  // namespace dphist

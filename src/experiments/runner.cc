@@ -1,8 +1,11 @@
 #include "experiments/runner.h"
 
 #include <algorithm>
+#include <iterator>
+#include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/statistics.h"
 #include "estimators/range_engine.h"
@@ -12,32 +15,68 @@
 #include "query/hierarchical_query.h"
 
 namespace dphist {
+namespace {
+
+/// Forks one child stream per trial, in trial order, so the set of
+/// per-trial Rngs is independent of how trials are later scheduled.
+std::vector<Rng> ForkTrialRngs(Rng* master, std::size_t count) {
+  std::vector<Rng> rngs;
+  rngs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) rngs.push_back(master->Fork());
+  return rngs;
+}
+
+}  // namespace
 
 std::vector<UnattributedCell> RunUnattributedExperiment(
     const Histogram& data, const UnattributedExperimentConfig& config) {
   DPHIST_CHECK(config.trials > 0);
   const std::vector<double> truth = TrueSortedCounts(data);
   const double n = static_cast<double>(truth.size());
+  const std::size_t num_estimators = std::size(kAllUnattributedEstimators);
+  const std::size_t trials = static_cast<std::size_t>(config.trials);
 
-  std::vector<UnattributedCell> cells;
+  // One task per (epsilon, trial) pair; rngs forked up front in the same
+  // nested order the sequential loop would visit them.
+  const std::size_t num_tasks = config.epsilons.size() * trials;
   Rng master(config.seed);
-  for (double epsilon : config.epsilons) {
-    RunningStat error_by_estimator[3];
-    for (std::int64_t t = 0; t < config.trials; ++t) {
-      Rng trial_rng = master.Fork();
-      std::vector<double> noisy =
-          SampleNoisySortedCounts(data, epsilon, &trial_rng);
-      int idx = 0;
-      for (UnattributedEstimator estimator : kAllUnattributedEstimators) {
-        std::vector<double> estimate =
-            ApplyUnattributedEstimator(estimator, noisy);
-        error_by_estimator[idx++].Add(SquaredError(estimate, truth));
+  std::vector<Rng> task_rngs = ForkTrialRngs(&master, num_tasks);
+
+  // errors[task * num_estimators + e] = this trial's total squared error.
+  std::vector<double> errors(num_tasks * num_estimators, 0.0);
+  ParallelFor(
+      static_cast<std::int64_t>(num_tasks), config.threads,
+      [&](std::int64_t task) {
+        const std::size_t eps_index =
+            static_cast<std::size_t>(task) / trials;
+        const double epsilon = config.epsilons[eps_index];
+        Rng trial_rng = task_rngs[static_cast<std::size_t>(task)];
+        std::vector<double> noisy =
+            SampleNoisySortedCounts(data, epsilon, &trial_rng);
+        std::size_t idx = 0;
+        for (UnattributedEstimator estimator : kAllUnattributedEstimators) {
+          std::vector<double> estimate =
+              ApplyUnattributedEstimator(estimator, noisy);
+          errors[static_cast<std::size_t>(task) * num_estimators + idx++] =
+              SquaredError(estimate, truth);
+        }
+      });
+
+  // Deterministic reduction in trial order.
+  std::vector<UnattributedCell> cells;
+  for (std::size_t e = 0; e < config.epsilons.size(); ++e) {
+    std::vector<RunningStat> error_by_estimator(num_estimators);
+    for (std::size_t t = 0; t < trials; ++t) {
+      const std::size_t task = e * trials + t;
+      for (std::size_t i = 0; i < num_estimators; ++i) {
+        error_by_estimator[i].Add(errors[task * num_estimators + i]);
       }
     }
-    int idx = 0;
-    for (UnattributedEstimator estimator : kAllUnattributedEstimators) {
-      double total = error_by_estimator[idx++].Mean();
-      cells.push_back(UnattributedCell{epsilon, estimator, total, total / n});
+    for (std::size_t i = 0; i < num_estimators; ++i) {
+      double total = error_by_estimator[i].Mean();
+      cells.push_back(UnattributedCell{config.epsilons[e],
+                                       kAllUnattributedEstimators[i], total,
+                                       total / n});
     }
   }
   return cells;
@@ -49,55 +88,100 @@ std::vector<UniversalCell> RunUniversalExperiment(
   DPHIST_CHECK(config.ranges_per_size > 0);
   const std::int64_t domain_size = data.size();
   const std::vector<std::int64_t> sizes = Fig6RangeSizes(domain_size);
+  const std::size_t trials = static_cast<std::size_t>(config.trials);
+  const std::size_t ranges_per_size =
+      static_cast<std::size_t>(config.ranges_per_size);
+  constexpr std::size_t kNumEstimators = 3;  // L~, H~, H-bar
+
+  // Workers never touch Histogram's lazily materialized prefix table
+  // (first use under a const method is not safe to race): true range
+  // counts come from this runner-owned prefix array instead. Histogram
+  // counts are integral, so these prefix sums are exact in doubles (well
+  // below 2^53) and agree with data.Count() regardless of summation
+  // order. The (trial-invariant) true tree counts are likewise evaluated
+  // once instead of once per trial.
+  std::vector<double> true_prefix(data.counts().size() + 1, 0.0);
+  for (std::size_t i = 0; i < data.counts().size(); ++i) {
+    true_prefix[i + 1] = true_prefix[i] + data.counts()[i];
+  }
+  const HierarchicalQuery h_query(domain_size, config.branching);
+  const std::vector<double> true_nodes = h_query.Evaluate(data);
+
+  const std::size_t num_tasks = config.epsilons.size() * trials;
+  Rng master(config.seed);
+  std::vector<Rng> task_rngs = ForkTrialRngs(&master, num_tasks);
+
+  // stats[task][size_index * 3 + estimator] accumulates this trial's
+  // squared errors; merged across trials afterwards in trial order.
+  std::vector<std::vector<RunningStat>> stats(
+      num_tasks, std::vector<RunningStat>(sizes.size() * kNumEstimators));
+
+  ParallelFor(
+      static_cast<std::int64_t>(num_tasks), config.threads,
+      [&](std::int64_t task_index) {
+        const std::size_t task = static_cast<std::size_t>(task_index);
+        const double epsilon = config.epsilons[task / trials];
+        UniversalOptions options;
+        options.epsilon = epsilon;
+        options.branching = config.branching;
+        options.round_to_nonnegative_integers =
+            config.round_to_nonnegative_integers;
+        options.prune_nonpositive_subtrees =
+            config.prune_nonpositive_subtrees;
+        const LaplaceMechanism mechanism(epsilon);
+
+        Rng trial_rng = task_rngs[task];
+        LTildeEstimator l_tilde(data, options, &trial_rng);
+        // One hierarchical draw shared by H~ and H-bar.
+        std::vector<double> noisy_nodes = mechanism.Perturb(
+            true_nodes, mechanism.NoiseScale(h_query), &trial_rng);
+        HBarEstimator h_bar(domain_size, options, noisy_nodes);
+        HTildeEstimator h_tilde(domain_size, options,
+                                std::move(noisy_nodes));
+
+        std::vector<double> answers_l(ranges_per_size);
+        std::vector<double> answers_ht(ranges_per_size);
+        std::vector<double> answers_hb(ranges_per_size);
+        std::vector<RunningStat>& trial_stats = stats[task];
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+          std::vector<Interval> ranges = RandomRangesOfSize(
+              domain_size, sizes[s], config.ranges_per_size, &trial_rng);
+          l_tilde.RangeCountsInto(ranges.data(), ranges.size(),
+                                  answers_l.data());
+          h_tilde.RangeCountsInto(ranges.data(), ranges.size(),
+                                  answers_ht.data());
+          h_bar.RangeCountsInto(ranges.data(), ranges.size(),
+                                answers_hb.data());
+          for (std::size_t q = 0; q < ranges.size(); ++q) {
+            const double truth =
+                true_prefix[static_cast<std::size_t>(ranges[q].hi()) + 1] -
+                true_prefix[static_cast<std::size_t>(ranges[q].lo())];
+            const double dl = answers_l[q] - truth;
+            const double dht = answers_ht[q] - truth;
+            const double dhb = answers_hb[q] - truth;
+            trial_stats[s * kNumEstimators + 0].Add(dl * dl);
+            trial_stats[s * kNumEstimators + 1].Add(dht * dht);
+            trial_stats[s * kNumEstimators + 2].Add(dhb * dhb);
+          }
+        }
+      });
 
   std::vector<UniversalCell> cells;
-  Rng master(config.seed);
-  for (double epsilon : config.epsilons) {
-    UniversalOptions options;
-    options.epsilon = epsilon;
-    options.branching = config.branching;
-    options.round_to_nonnegative_integers =
-        config.round_to_nonnegative_integers;
-    options.prune_nonpositive_subtrees = config.prune_nonpositive_subtrees;
-
-    // error[estimator][size index]
-    std::vector<RunningStat> errors_l(sizes.size());
-    std::vector<RunningStat> errors_ht(sizes.size());
-    std::vector<RunningStat> errors_hb(sizes.size());
-
-    HierarchicalQuery h_query(domain_size, config.branching);
-    LaplaceMechanism mechanism(epsilon);
-
-    for (std::int64_t t = 0; t < config.trials; ++t) {
-      Rng trial_rng = master.Fork();
-      LTildeEstimator l_tilde(data, options, &trial_rng);
-      // One hierarchical draw shared by H~ and H-bar.
-      std::vector<double> noisy_nodes =
-          mechanism.AnswerQuery(h_query, data, &trial_rng);
-      HTildeEstimator h_tilde(domain_size, options, noisy_nodes);
-      HBarEstimator h_bar(domain_size, options, noisy_nodes);
-
-      for (std::size_t s = 0; s < sizes.size(); ++s) {
-        std::vector<Interval> ranges = RandomRangesOfSize(
-            domain_size, sizes[s], config.ranges_per_size, &trial_rng);
-        for (const Interval& q : ranges) {
-          double truth = data.Count(q);
-          double dl = l_tilde.RangeCount(q) - truth;
-          double dht = h_tilde.RangeCount(q) - truth;
-          double dhb = h_bar.RangeCount(q) - truth;
-          errors_l[s].Add(dl * dl);
-          errors_ht[s].Add(dht * dht);
-          errors_hb[s].Add(dhb * dhb);
-        }
+  for (std::size_t e = 0; e < config.epsilons.size(); ++e) {
+    std::vector<RunningStat> merged(sizes.size() * kNumEstimators);
+    for (std::size_t t = 0; t < trials; ++t) {
+      const std::vector<RunningStat>& trial_stats = stats[e * trials + t];
+      for (std::size_t i = 0; i < merged.size(); ++i) {
+        merged[i].Merge(trial_stats[i]);
       }
     }
     for (std::size_t s = 0; s < sizes.size(); ++s) {
-      cells.push_back(
-          UniversalCell{epsilon, "L~", sizes[s], errors_l[s].Mean()});
-      cells.push_back(
-          UniversalCell{epsilon, "H~", sizes[s], errors_ht[s].Mean()});
-      cells.push_back(
-          UniversalCell{epsilon, "H-bar", sizes[s], errors_hb[s].Mean()});
+      cells.push_back(UniversalCell{config.epsilons[e], "L~", sizes[s],
+                                    merged[s * kNumEstimators + 0].Mean()});
+      cells.push_back(UniversalCell{config.epsilons[e], "H~", sizes[s],
+                                    merged[s * kNumEstimators + 1].Mean()});
+      cells.push_back(UniversalCell{config.epsilons[e], "H-bar", sizes[s],
+                                    merged[s * kNumEstimators + 2].Mean()});
     }
   }
   return cells;

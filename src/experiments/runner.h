@@ -2,6 +2,13 @@
 // protocol (Section 5): average squared error over repeated draws from the
 // differentially private mechanisms, and over random range workloads for
 // the universal-histogram task.
+//
+// The per-trial loops of RunUnattributedExperiment and
+// RunUniversalExperiment run on a worker pool (`threads` in the configs).
+// Every trial's Rng is forked from the master stream up front in trial
+// order and each trial writes into its own result slot, merged in trial
+// order afterwards — so the output is bit-identical for any thread count,
+// including 1.
 
 #ifndef DPHIST_EXPERIMENTS_RUNNER_H_
 #define DPHIST_EXPERIMENTS_RUNNER_H_
@@ -23,6 +30,9 @@ struct UnattributedExperimentConfig {
   std::int64_t trials = 50;
   /// Seed for the whole experiment (each trial forks its own stream).
   std::uint64_t seed = 7;
+  /// Worker threads for the trial loop; 0 = hardware concurrency. The
+  /// result is bit-identical for every value.
+  std::int64_t threads = 1;
 };
 
 /// One Fig. 5 bar: average error of one estimator at one privacy level.
@@ -54,6 +64,9 @@ struct UniversalExperimentConfig {
   /// Prune non-positive subtrees in H-bar (Section 4.2).
   bool prune_nonpositive_subtrees = true;
   std::uint64_t seed = 7;
+  /// Worker threads for the trial loop; 0 = hardware concurrency. The
+  /// result is bit-identical for every value.
+  std::int64_t threads = 1;
 };
 
 /// One Fig. 6 point: average squared error of one estimator for ranges of

@@ -23,15 +23,19 @@ std::vector<double> LaplaceMechanism::AnswerQuery(const QuerySequence& query,
   return Perturb(query.Evaluate(data), NoiseScale(query), rng);
 }
 
-std::vector<double> LaplaceMechanism::Perturb(
-    const std::vector<double>& answers, double noise_scale, Rng* rng) const {
+std::vector<double> LaplaceMechanism::Perturb(std::vector<double> answers,
+                                              double noise_scale,
+                                              Rng* rng) const {
+  PerturbInPlace(&answers, noise_scale, rng);
+  return answers;
+}
+
+void LaplaceMechanism::PerturbInPlace(std::vector<double>* answers,
+                                      double noise_scale, Rng* rng) const {
+  DPHIST_CHECK(answers != nullptr);
   DPHIST_CHECK(rng != nullptr);
   LaplaceDistribution noise(noise_scale);
-  std::vector<double> out(answers.size());
-  for (std::size_t i = 0; i < answers.size(); ++i) {
-    out[i] = answers[i] + noise.Sample(rng);
-  }
-  return out;
+  noise.AddSamplesTo(answers->data(), answers->size(), rng);
 }
 
 }  // namespace dphist

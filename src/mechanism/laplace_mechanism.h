@@ -42,8 +42,14 @@ class LaplaceMechanism {
 
   /// Adds Laplace noise with the given scale to every component of
   /// `answers`; exposed for callers that evaluate queries themselves.
-  std::vector<double> Perturb(const std::vector<double>& answers,
-                              double noise_scale, Rng* rng) const;
+  /// Takes the vector by value and perturbs it in place: pass an rvalue
+  /// (as AnswerQuery does) and the whole operation is copy-free.
+  std::vector<double> Perturb(std::vector<double> answers, double noise_scale,
+                              Rng* rng) const;
+
+  /// In-place form for callers that own a reusable buffer.
+  void PerturbInPlace(std::vector<double>* answers, double noise_scale,
+                      Rng* rng) const;
 
  private:
   double epsilon_;

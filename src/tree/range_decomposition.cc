@@ -1,33 +1,20 @@
 #include "tree/range_decomposition.h"
 
-#include "common/check.h"
-
 namespace dphist {
-namespace {
 
-void DecomposeInto(const TreeLayout& tree, std::int64_t node,
-                   const Interval& range, std::vector<std::int64_t>* out) {
-  Interval covered = tree.NodeRange(node);
-  if (!covered.Overlaps(range)) return;
-  if (range.Covers(covered)) {
-    out->push_back(node);
-    return;
-  }
-  DPHIST_DCHECK(!tree.IsLeaf(node));
-  std::int64_t first = tree.FirstChild(node);
-  for (std::int64_t i = 0; i < tree.branching(); ++i) {
-    DecomposeInto(tree, first + i, range, out);
-  }
+void DecomposeRangeInto(const TreeLayout& tree, const Interval& range,
+                        std::vector<std::int64_t>* out) {
+  DPHIST_CHECK(out != nullptr);
+  out->clear();
+  ForEachRangeNode(tree, range,
+                   [out](std::int64_t node) { out->push_back(node); });
 }
-
-}  // namespace
 
 std::vector<std::int64_t> DecomposeRange(const TreeLayout& tree,
                                          const Interval& range) {
-  DPHIST_CHECK_MSG(range.lo() >= 0 && range.hi() < tree.leaf_count(),
-                   "range outside the tree's (padded) domain");
   std::vector<std::int64_t> out;
-  DecomposeInto(tree, 0, range, &out);
+  out.reserve(static_cast<std::size_t>(MaxDecompositionSize(tree)));
+  DecomposeRangeInto(tree, range, &out);
   return out;
 }
 

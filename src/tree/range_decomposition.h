@@ -6,6 +6,20 @@
 // decomposition: the unique minimal antichain of tree nodes covering the
 // range, at most 2(k-1) nodes per level and none above the range's least
 // common ancestor.
+//
+// Three entry points, fastest first:
+//
+//   ForEachRangeNode(tree, range, fn)   iterative visitor; zero heap
+//                                       allocations, nodes are emitted in
+//                                       increasing interval order.
+//   DecomposeRangeInto(tree, range, out) fills a caller-owned vector
+//                                       (clearing it first) so repeated
+//                                       queries reuse one buffer.
+//   DecomposeRange(tree, range)         legacy convenience wrapper that
+//                                       returns a fresh vector.
+//
+// All three produce the same node sequence; the visitor is the engine the
+// other two are built on.
 
 #ifndef DPHIST_TREE_RANGE_DECOMPOSITION_H_
 #define DPHIST_TREE_RANGE_DECOMPOSITION_H_
@@ -13,10 +27,117 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.h"
 #include "domain/interval.h"
 #include "tree/tree_layout.h"
 
 namespace dphist {
+
+/// Deepest tree height supported by the allocation-free visitor. A k-ary
+/// tree with k >= 2 over an int64 domain has at most 63 levels below the
+/// root, so 64 path slots always suffice.
+inline constexpr int kMaxTreeHeight = 64;
+
+/// Visits the minimal decomposition of `range`: node ids whose subtree
+/// ranges are disjoint and union exactly to `range`, in increasing
+/// interval order (the same order the recursive formulation emits).
+/// Performs no heap allocation. `range` must lie within
+/// [0, tree.leaf_count()).
+template <typename Fn>
+void ForEachRangeNode(const TreeLayout& tree, const Interval& range,
+                      Fn&& fn) {
+  DPHIST_CHECK_MSG(range.lo() >= 0 && range.hi() < tree.leaf_count(),
+                   "range outside the tree's (padded) domain");
+  const std::int64_t k = tree.branching();
+  const std::int64_t lo = range.lo();
+  const std::int64_t hi = range.hi();
+
+  // Descend to the least common ancestor: the deepest node whose interval
+  // contains the whole range. Track the node's interval arithmetically
+  // ([node_lo, node_lo + width - 1]) instead of calling NodeRange, which
+  // would pay a binary search per level; child ids likewise use the BFS
+  // identity first_child(v) = v*k + 1 to keep per-level checks out of the
+  // hot loop. Every descent below is guarded by width > 1, so the ids
+  // stay in range by construction.
+  std::int64_t node = 0;
+  std::int64_t node_lo = 0;
+  std::int64_t width = tree.leaf_count();
+  std::int64_t child_a = 0;
+  std::int64_t child_b = 0;
+  while (true) {
+    if (lo == node_lo && hi == node_lo + width - 1) {
+      fn(node);  // The range is exactly this subtree.
+      return;
+    }
+    // width > 1 here: a unit node overlapping an in-bounds range is
+    // covered by it and was handled above.
+    const std::int64_t child_width = width / k;
+    child_a = (lo - node_lo) / child_width;
+    child_b = (hi - node_lo) / child_width;
+    if (child_a != child_b) break;  // `node` is the LCA.
+    node = node * k + 1 + child_a;
+    node_lo += child_a * child_width;
+    width = child_width;
+  }
+
+  const std::int64_t first = node * k + 1;
+  const std::int64_t child_width = width / k;
+
+  // Left fringe: walk from the LCA's boundary child down to the node whose
+  // interval starts exactly at `lo`. The right siblings passed on the way
+  // down are fully covered but must be emitted *after* deeper nodes to
+  // keep increasing interval order, so remember them per level.
+  struct SiblingRun {
+    std::int64_t from;
+    std::int64_t to;  // inclusive; from > to encodes an empty run
+  };
+  SiblingRun left_runs[kMaxTreeHeight];
+  int left_depth = 0;
+  std::int64_t v = first + child_a;
+  std::int64_t v_lo = node_lo + child_a * child_width;
+  std::int64_t v_width = child_width;
+  while (v_lo < lo) {
+    const std::int64_t w = v_width / k;
+    const std::int64_t j = (lo - v_lo) / w;
+    const std::int64_t fc = v * k + 1;
+    DPHIST_DCHECK(left_depth < kMaxTreeHeight);
+    left_runs[left_depth++] = SiblingRun{fc + j + 1, fc + k - 1};
+    v = fc + j;
+    v_lo += j * w;
+    v_width = w;
+  }
+  fn(v);  // Starts at `lo`; covered because the range runs past its end.
+  for (int d = left_depth - 1; d >= 0; --d) {
+    for (std::int64_t u = left_runs[d].from; u <= left_runs[d].to; ++u) {
+      fn(u);
+    }
+  }
+
+  // Fully covered middle children of the LCA.
+  for (std::int64_t c = child_a + 1; c < child_b; ++c) fn(first + c);
+
+  // Right fringe, top-down: left siblings at each level precede the
+  // deeper boundary node, so this is already in increasing order.
+  v = first + child_b;
+  v_lo = node_lo + child_b * child_width;
+  v_width = child_width;
+  while (v_lo + v_width - 1 > hi) {
+    const std::int64_t w = v_width / k;
+    const std::int64_t j = (hi - v_lo) / w;
+    const std::int64_t fc = v * k + 1;
+    for (std::int64_t c = 0; c < j; ++c) fn(fc + c);
+    v = fc + j;
+    v_lo += j * w;
+    v_width = w;
+  }
+  fn(v);  // Ends at `hi`; covered because the range starts before it.
+}
+
+/// Clears `out` and fills it with the decomposition of `range`. Repeated
+/// callers amortize the buffer: after the first call at full capacity no
+/// further allocation happens.
+void DecomposeRangeInto(const TreeLayout& tree, const Interval& range,
+                        std::vector<std::int64_t>* out);
 
 /// Node ids whose subtree ranges are disjoint and union exactly to `range`.
 /// `range` must lie within [0, tree.leaf_count()).

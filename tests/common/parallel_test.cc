@@ -1,0 +1,68 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace dphist {
+namespace {
+
+TEST(ParallelForTest, RunsEveryTaskExactlyOnce) {
+  for (std::int64_t threads : {1, 2, 4, 8}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    ParallelFor(257, threads, [&](std::int64_t i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "task " << i << ", " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ParallelForTest, ZeroTasksIsANoOp) {
+  ParallelFor(0, 8, [](std::int64_t) { FAIL() << "no task should run"; });
+}
+
+TEST(ParallelForTest, MoreThreadsThanTasksIsFine) {
+  std::atomic<int> runs{0};
+  ParallelFor(3, 16, [&](std::int64_t) { runs.fetch_add(1); });
+  EXPECT_EQ(runs.load(), 3);
+}
+
+TEST(ParallelForTest, DisjointSlotWritesNeedNoSynchronization) {
+  std::vector<double> out(1000, 0.0);
+  ParallelFor(1000, 4, [&](std::int64_t i) {
+    out[static_cast<std::size_t>(i)] = static_cast<double>(i) * 0.5;
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 0.5);
+  }
+}
+
+TEST(ParallelForTest, TaskExceptionPropagatesToCaller) {
+  // Same contract as the sequential path: a throwing task surfaces at
+  // the ParallelFor call site instead of terminating a worker thread.
+  for (std::int64_t threads : {1, 4}) {
+    EXPECT_THROW(
+        ParallelFor(32, threads,
+                    [](std::int64_t i) {
+                      if (i == 7) throw std::runtime_error("task failed");
+                    }),
+        std::runtime_error)
+        << threads << " threads";
+  }
+}
+
+TEST(ResolveThreadCountTest, PassesThroughPositiveAndResolvesZero) {
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_EQ(ResolveThreadCount(7), 7);
+  EXPECT_GE(ResolveThreadCount(0), 1);
+  EXPECT_GE(ResolveThreadCount(-3), 1);
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,91 @@
+// The parallel experiment runners must be bit-identical to the sequential
+// run: trial Rngs are forked up front in trial order and partial results
+// merged deterministically, so the thread count can never change a cell.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/social_network.h"
+#include "experiments/runner.h"
+
+namespace dphist {
+namespace {
+
+Histogram TestData() {
+  SocialNetworkConfig config;
+  config.num_nodes = 300;
+  config.edges_per_node = 3;
+  return GenerateSocialNetworkDegrees(config);
+}
+
+TEST(ParallelRunnerTest, UniversalCellsBitIdenticalAcrossThreadCounts) {
+  Histogram data = TestData();
+  UniversalExperimentConfig config;
+  config.epsilons = {1.0, 0.1};
+  config.trials = 6;
+  config.ranges_per_size = 50;
+
+  config.threads = 1;
+  std::vector<UniversalCell> sequential = RunUniversalExperiment(data, config);
+  ASSERT_FALSE(sequential.empty());
+  for (std::int64_t threads : {4, 8}) {
+    config.threads = threads;
+    std::vector<UniversalCell> parallel = RunUniversalExperiment(data, config);
+    ASSERT_EQ(parallel.size(), sequential.size()) << threads << " threads";
+    for (std::size_t i = 0; i < sequential.size(); ++i) {
+      EXPECT_EQ(parallel[i].epsilon, sequential[i].epsilon);
+      EXPECT_EQ(parallel[i].estimator, sequential[i].estimator);
+      EXPECT_EQ(parallel[i].range_size, sequential[i].range_size);
+      // Bit-identical, not merely close.
+      EXPECT_EQ(parallel[i].avg_squared_error, sequential[i].avg_squared_error)
+          << "cell " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, UnattributedCellsBitIdenticalAcrossThreadCounts) {
+  Histogram data = TestData();
+  UnattributedExperimentConfig config;
+  config.epsilons = {1.0, 0.01};
+  config.trials = 8;
+
+  config.threads = 1;
+  std::vector<UnattributedCell> sequential =
+      RunUnattributedExperiment(data, config);
+  ASSERT_FALSE(sequential.empty());
+  for (std::int64_t threads : {4, 8}) {
+    config.threads = threads;
+    std::vector<UnattributedCell> parallel =
+        RunUnattributedExperiment(data, config);
+    ASSERT_EQ(parallel.size(), sequential.size());
+    for (std::size_t i = 0; i < sequential.size(); ++i) {
+      EXPECT_EQ(parallel[i].epsilon, sequential[i].epsilon);
+      EXPECT_EQ(parallel[i].estimator, sequential[i].estimator);
+      EXPECT_EQ(parallel[i].total_squared_error,
+                sequential[i].total_squared_error)
+          << "cell " << i << " at " << threads << " threads";
+      EXPECT_EQ(parallel[i].per_count_error, sequential[i].per_count_error);
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, HardwareConcurrencyKnobAlsoBitIdentical) {
+  Histogram data = TestData();
+  UniversalExperimentConfig config;
+  config.epsilons = {0.1};
+  config.trials = 3;
+  config.ranges_per_size = 20;
+
+  config.threads = 1;
+  std::vector<UniversalCell> sequential = RunUniversalExperiment(data, config);
+  config.threads = 0;  // hardware concurrency
+  std::vector<UniversalCell> parallel = RunUniversalExperiment(data, config);
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(parallel[i].avg_squared_error, sequential[i].avg_squared_error);
+  }
+}
+
+}  // namespace
+}  // namespace dphist

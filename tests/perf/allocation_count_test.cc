@@ -1,0 +1,178 @@
+// Proves the hot query paths allocate nothing: this binary replaces the
+// global operator new/delete with counting versions and asserts that
+// answering ranges — scalar or batched, on all three universal
+// estimators and on the raw tree visitor — performs zero heap
+// allocations per query. Kept out of dphist_tests so the instrumentation
+// cannot interfere with unrelated suites.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/zipf.h"
+#include "domain/histogram.h"
+#include "estimators/range_engine.h"
+#include "estimators/universal.h"
+#include "mechanism/laplace_mechanism.h"
+#include "query/hierarchical_query.h"
+#include "tree/range_decomposition.h"
+
+namespace {
+std::atomic<std::size_t> g_allocation_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dphist {
+namespace {
+
+/// Runs `fn` once as warm-up, then again while counting heap allocations.
+template <typename Fn>
+std::size_t AllocationsDuring(Fn&& fn) {
+  fn();  // warm-up: first-use lazy initialization doesn't count
+  const std::size_t before = g_allocation_count.load();
+  fn();
+  return g_allocation_count.load() - before;
+}
+
+std::vector<Interval> FixedWorkload(std::int64_t domain_size) {
+  Rng rng(5);
+  return RandomRangesOfSize(domain_size, domain_size / 3, 256, &rng);
+}
+
+TEST(AllocationCountTest, ForEachRangeNodeAllocatesNothing) {
+  TreeLayout tree(1 << 16, 2);
+  std::vector<Interval> workload = FixedWorkload(tree.leaf_count());
+  double sink = 0.0;
+  std::size_t allocs = AllocationsDuring([&] {
+    for (const Interval& q : workload) {
+      ForEachRangeNode(tree, q, [&](std::int64_t v) {
+        sink += static_cast<double>(v);
+      });
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_GT(sink, 0.0);
+}
+
+TEST(AllocationCountTest, ScratchBufferDecompositionAllocatesNothing) {
+  TreeLayout tree(1 << 14, 4);
+  std::vector<Interval> workload = FixedWorkload(tree.leaf_count());
+  std::vector<std::int64_t> scratch;
+  scratch.reserve(static_cast<std::size_t>(MaxDecompositionSize(tree)));
+  std::size_t sink = 0;
+  std::size_t allocs = AllocationsDuring([&] {
+    for (const Interval& q : workload) {
+      DecomposeRangeInto(tree, q, &scratch);
+      sink += scratch.size();
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_GT(sink, 0u);
+}
+
+class EstimatorAllocationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng data_rng(3);
+    data_ = std::make_unique<Histogram>(
+        Histogram::FromCounts(ZipfCounts(kDomain, 1.2, 4 * kDomain,
+                                         &data_rng)));
+    UniversalOptions options;
+    options.epsilon = 0.5;
+    Rng rng(29);
+    l_tilde_ = std::make_unique<LTildeEstimator>(*data_, options, &rng);
+    HierarchicalQuery query(kDomain, options.branching);
+    LaplaceMechanism mechanism(options.epsilon);
+    std::vector<double> noisy = mechanism.AnswerQuery(query, *data_, &rng);
+    h_tilde_ = std::make_unique<HTildeEstimator>(kDomain, options, noisy);
+    h_bar_rounded_ = std::make_unique<HBarEstimator>(kDomain, options, noisy);
+    options.round_to_nonnegative_integers = false;
+    options.prune_nonpositive_subtrees = false;
+    h_bar_consistent_ =
+        std::make_unique<HBarEstimator>(kDomain, options, noisy);
+    workload_ = FixedWorkload(kDomain);
+    answers_.resize(workload_.size());
+  }
+
+  std::size_t ScalarAllocations(const RangeCountEstimator& est) {
+    return AllocationsDuring([&] {
+      double sink = 0.0;
+      for (const Interval& q : workload_) sink += est.RangeCount(q);
+      sink_ = sink;
+    });
+  }
+
+  std::size_t BatchedAllocations(const RangeCountEstimator& est) {
+    return AllocationsDuring([&] {
+      est.RangeCountsInto(workload_.data(), workload_.size(),
+                          answers_.data());
+    });
+  }
+
+  static constexpr std::int64_t kDomain = 1 << 12;
+  std::unique_ptr<Histogram> data_;
+  std::unique_ptr<LTildeEstimator> l_tilde_;
+  std::unique_ptr<HTildeEstimator> h_tilde_;
+  std::unique_ptr<HBarEstimator> h_bar_rounded_;
+  std::unique_ptr<HBarEstimator> h_bar_consistent_;
+  std::vector<Interval> workload_;
+  std::vector<double> answers_;
+  double sink_ = 0.0;
+};
+
+TEST_F(EstimatorAllocationTest, LTildeQueriesAreAllocationFree) {
+  EXPECT_EQ(ScalarAllocations(*l_tilde_), 0u);
+  EXPECT_EQ(BatchedAllocations(*l_tilde_), 0u);
+}
+
+TEST_F(EstimatorAllocationTest, HTildeQueriesAreAllocationFree) {
+  EXPECT_EQ(ScalarAllocations(*h_tilde_), 0u);
+  EXPECT_EQ(BatchedAllocations(*h_tilde_), 0u);
+}
+
+TEST_F(EstimatorAllocationTest, HBarPrefixPathIsAllocationFree) {
+  ASSERT_TRUE(h_bar_consistent_->uses_prefix_fast_path());
+  EXPECT_EQ(ScalarAllocations(*h_bar_consistent_), 0u);
+  EXPECT_EQ(BatchedAllocations(*h_bar_consistent_), 0u);
+}
+
+TEST_F(EstimatorAllocationTest, HBarDecompositionFallbackIsAllocationFree) {
+  ASSERT_FALSE(h_bar_rounded_->uses_prefix_fast_path());
+  EXPECT_EQ(ScalarAllocations(*h_bar_rounded_), 0u);
+  EXPECT_EQ(BatchedAllocations(*h_bar_rounded_), 0u);
+}
+
+TEST_F(EstimatorAllocationTest, LegacyDecomposeRangeStillAllocates) {
+  // Sanity check that the counter actually observes the old path's
+  // allocation — otherwise the zero readings above would prove nothing.
+  const TreeLayout& tree = h_tilde_->tree();
+  std::size_t allocs = AllocationsDuring([&] {
+    for (const Interval& q : workload_) {
+      sink_ += static_cast<double>(DecomposeRange(tree, q).size());
+    }
+  });
+  EXPECT_GE(allocs, workload_.size());
+}
+
+}  // namespace
+}  // namespace dphist

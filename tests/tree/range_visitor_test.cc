@@ -1,0 +1,132 @@
+// Property tests for the allocation-free range visitor: ForEachRangeNode,
+// the caller-owned-buffer DecomposeRangeInto, and the DecomposeRange
+// wrapper must agree on every tree shape and range. Because all three
+// now share one engine, the oracle below re-implements the original
+// recursive decomposition independently — comparing the visitor against
+// itself would prove nothing.
+
+#include "tree/range_decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dphist {
+namespace {
+
+/// The pre-visitor recursive formulation, kept verbatim as an
+/// independent reference: emit any node the range covers, recurse into
+/// overlapping children otherwise. DFS order == increasing interval
+/// order, which is also the visitor's documented emission order.
+void ReferenceDecomposeInto(const TreeLayout& tree, std::int64_t node,
+                            const Interval& range,
+                            std::vector<std::int64_t>* out) {
+  Interval covered = tree.NodeRange(node);
+  if (!covered.Overlaps(range)) return;
+  if (range.Covers(covered)) {
+    out->push_back(node);
+    return;
+  }
+  ASSERT_FALSE(tree.IsLeaf(node));
+  std::int64_t first = tree.FirstChild(node);
+  for (std::int64_t i = 0; i < tree.branching(); ++i) {
+    ReferenceDecomposeInto(tree, first + i, range, out);
+  }
+}
+
+std::vector<std::int64_t> ReferenceDecomposition(const TreeLayout& tree,
+                                                 const Interval& range) {
+  std::vector<std::int64_t> out;
+  ReferenceDecomposeInto(tree, 0, range, &out);
+  return out;
+}
+
+std::vector<std::int64_t> CollectVisited(const TreeLayout& tree,
+                                         const Interval& range) {
+  std::vector<std::int64_t> visited;
+  ForEachRangeNode(tree, range,
+                   [&](std::int64_t v) { visited.push_back(v); });
+  return visited;
+}
+
+TEST(RangeVisitorTest, MatchesRecursiveReferenceOnHandPickedRanges) {
+  TreeLayout tree(16, 2);
+  const Interval cases[] = {Interval(0, 15), Interval(0, 0), Interval(15, 15),
+                            Interval(1, 14), Interval(4, 7),  Interval(3, 12),
+                            Interval(0, 7),  Interval(8, 15), Interval(5, 5)};
+  for (const Interval& range : cases) {
+    EXPECT_EQ(CollectVisited(tree, range), ReferenceDecomposition(tree, range))
+        << "range " << range.ToString();
+  }
+}
+
+TEST(RangeVisitorTest, ScratchBufferVariantReusesCapacity) {
+  TreeLayout tree(1024, 2);
+  std::vector<std::int64_t> scratch;
+  scratch.reserve(static_cast<std::size_t>(MaxDecompositionSize(tree)));
+  const std::int64_t* stable_data = scratch.data();
+  Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::int64_t lo = rng.NextInt(0, 1023);
+    std::int64_t hi = rng.NextInt(lo, 1023);
+    DecomposeRangeInto(tree, Interval(lo, hi), &scratch);
+    EXPECT_EQ(scratch, ReferenceDecomposition(tree, Interval(lo, hi)));
+    // MaxDecompositionSize bounds every decomposition, so a buffer
+    // reserved once never reallocates.
+    EXPECT_EQ(scratch.data(), stable_data);
+  }
+}
+
+class RangeVisitorSweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(RangeVisitorSweep, VisitsExactlyTheReferenceNodeSequence) {
+  auto [leaves, k] = GetParam();
+  TreeLayout tree(leaves, k);
+  Rng rng(static_cast<std::uint64_t>(leaves * 131 + k));
+  std::vector<std::int64_t> scratch;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::int64_t lo = rng.NextInt(0, tree.leaf_count() - 1);
+    std::int64_t hi = rng.NextInt(lo, tree.leaf_count() - 1);
+    Interval range(lo, hi);
+    std::vector<std::int64_t> reference = ReferenceDecomposition(tree, range);
+    EXPECT_EQ(CollectVisited(tree, range), reference)
+        << "visitor diverged on " << range.ToString() << " leaves=" << leaves
+        << " k=" << k;
+    DecomposeRangeInto(tree, range, &scratch);
+    EXPECT_EQ(scratch, reference)
+        << "scratch variant diverged on " << range.ToString();
+    EXPECT_EQ(DecomposeRange(tree, range), reference)
+        << "wrapper diverged on " << range.ToString();
+    EXPECT_LE(static_cast<std::int64_t>(reference.size()),
+              MaxDecompositionSize(tree));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RangeVisitorSweep,
+    ::testing::Values(std::make_tuple(std::int64_t{1}, std::int64_t{2}),
+                      std::make_tuple(std::int64_t{2}, std::int64_t{2}),
+                      std::make_tuple(std::int64_t{16}, std::int64_t{2}),
+                      std::make_tuple(std::int64_t{1000}, std::int64_t{2}),
+                      std::make_tuple(std::int64_t{4096}, std::int64_t{2}),
+                      std::make_tuple(std::int64_t{81}, std::int64_t{3}),
+                      std::make_tuple(std::int64_t{100}, std::int64_t{3}),
+                      std::make_tuple(std::int64_t{256}, std::int64_t{4}),
+                      std::make_tuple(std::int64_t{625}, std::int64_t{5}),
+                      std::make_tuple(std::int64_t{343}, std::int64_t{7}),
+                      std::make_tuple(std::int64_t{1331}, std::int64_t{11}),
+                      std::make_tuple(std::int64_t{4096}, std::int64_t{16})));
+
+TEST(RangeVisitorDeathTest, RejectsOutOfBounds) {
+  TreeLayout tree(8, 2);
+  EXPECT_DEATH(ForEachRangeNode(tree, Interval(0, 8), [](std::int64_t) {}),
+               "outside");
+}
+
+}  // namespace
+}  // namespace dphist

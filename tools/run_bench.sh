@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Builds the benchmark suite in Release mode, runs bench_micro_range_query,
+# and writes BENCH_range_query.json at the repo root so the query-path
+# performance trajectory is tracked from PR to PR.
+#
+# Usage: tools/run_bench.sh [extra bench flags...]
+#   e.g. tools/run_bench.sh --max-log2=16 --min-time-ms=100
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build-release"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release \
+  -DDPHIST_BUILD_BENCH=ON >/dev/null
+cmake --build "${BUILD_DIR}" --target bench_micro_range_query -j >/dev/null
+
+OUT="${REPO_ROOT}/BENCH_range_query.json"
+"${BUILD_DIR}/bench_micro_range_query" "$@" > "${OUT}"
+
+echo "wrote ${OUT}"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$OUT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+s = data["summary"]
+print(f"H-bar prefix path at max domain: {s['hbar_prefix_qps_at_max_domain']:.3g} q/s "
+      f"({s['hbar_prefix_speedup_at_max_domain']:.1f}x over decomposition)")
+EOF
+fi
