@@ -1,0 +1,253 @@
+// Multi-threaded QueryService throughput benchmark, emitting JSON so
+// BENCH_service.json tracks the serving layer across PRs (see
+// tools/run_bench.sh).
+//
+// Protocol: T client threads replay the same stream of query phases —
+// each phase is a fresh batch of distinct random ranges, shared by every
+// client, modeling concurrent traffic over the same popular queries
+// (hot-set traffic is what a serving cache exists for). Clients
+// rendezvous at a barrier between phases so "the same phase" really is
+// concurrent; within a phase the shared LRU answer cache dedups the
+// estimator work: the first client to reach a range pays the subtree
+// walk, the rest pay a hash lookup. Aggregate queries/sec is the total
+// number of answers produced divided by wall time.
+//
+// Two configurations per thread count:
+//   cached:   shared AnswerCache sized to hold the hot set, so aggregate
+//             throughput scales with clients even on one core (dedup
+//             turns T-1 of every T identical queries into hash hits);
+//   uncached: every client pays the full estimator walk — on a
+//             single-core host this stays flat (or dips) as threads are
+//             added, which is reported honestly alongside.
+//
+// The summary records cached aggregate qps at 1 and at max threads plus
+// their ratio — the acceptance metric for the serving layer.
+//
+// Flags (DPHIST_* env equivalents): --domain-log2, --strategy,
+// --branching, --epsilon, --queries (per phase), --phases,
+// --threads-list (comma separated), --cache (entries), --lock-shards,
+// --seed.
+
+#include <barrier>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "data/zipf.h"
+#include "domain/histogram.h"
+#include "service/query_service.h"
+
+using namespace dphist;  // NOLINT(build/namespaces)
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct RunResult {
+  double aggregate_qps;
+  double hit_rate;
+};
+
+/// T clients replay `phases` against one service; returns aggregate
+/// throughput across all clients and the cache hit rate of the run.
+RunResult RunClients(const QueryService& service, int threads,
+                     const std::vector<std::vector<Interval>>& phases) {
+  AnswerCache::Stats before = service.cache_stats();
+  std::barrier<> barrier(threads);
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(threads));
+  const double start = NowSeconds();
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&] {
+      std::vector<double> answers;
+      for (const std::vector<Interval>& phase : phases) {
+        answers.resize(phase.size());
+        barrier.arrive_and_wait();
+        service.QueryBatch(phase.data(), phase.size(), answers.data());
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  const double elapsed = NowSeconds() - start;
+
+  std::size_t total_queries = 0;
+  for (const std::vector<Interval>& phase : phases) {
+    total_queries += phase.size() * static_cast<std::size_t>(threads);
+  }
+  AnswerCache::Stats after = service.cache_stats();
+  const std::uint64_t lookups =
+      (after.hits + after.misses) - (before.hits + before.misses);
+  RunResult result;
+  result.aggregate_qps = static_cast<double>(total_queries) / elapsed;
+  result.hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(after.hits - before.hits) /
+                         static_cast<double>(lookups);
+  return result;
+}
+
+struct ResultRow {
+  int threads;
+  bool cached;
+  double aggregate_qps;
+  double hit_rate;
+};
+
+std::vector<int> ParseThreadsList(const std::string& csv) {
+  std::vector<int> threads;
+  int value = 0;
+  bool have_digit = false;
+  for (char c : csv) {
+    if (c >= '0' && c <= '9') {
+      value = value * 10 + (c - '0');
+      have_digit = true;
+    } else {
+      if (have_digit) threads.push_back(value);
+      value = 0;
+      have_digit = false;
+    }
+  }
+  if (have_digit) threads.push_back(value);
+  DPHIST_CHECK_MSG(!threads.empty(), "empty --threads-list");
+  return threads;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const std::int64_t domain_log2 =
+      flags.GetInt("domain-log2", 20, "DPHIST_DOMAIN_LOG2");
+  const std::int64_t n = std::int64_t{1} << domain_log2;
+  const std::string strategy_name =
+      flags.GetString("strategy", "htilde", "DPHIST_STRATEGY");
+  const std::int64_t branching =
+      flags.GetInt("branching", 2, "DPHIST_BRANCHING");
+  const double epsilon = flags.GetDouble("epsilon", 0.1, "DPHIST_EPSILON");
+  const std::int64_t queries_per_phase =
+      flags.GetInt("queries", 4096, "DPHIST_QUERIES");
+  const std::int64_t phase_count = flags.GetInt("phases", 24, "DPHIST_PHASES");
+  const std::vector<int> thread_counts = ParseThreadsList(
+      flags.GetString("threads-list", "1,2,4,8", "DPHIST_THREADS_LIST"));
+  const std::int64_t cache_capacity =
+      flags.GetInt("cache", 8 * queries_per_phase, "DPHIST_CACHE");
+  const std::int64_t lock_shards =
+      flags.GetInt("lock-shards", 64, "DPHIST_LOCK_SHARDS");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+
+  auto strategy = ParseStrategyKind(strategy_name);
+  DPHIST_CHECK_MSG(strategy.ok(), "bad --strategy");
+
+  Rng data_rng(seed);
+  Histogram data =
+      Histogram::FromCounts(ZipfCounts(n, 1.1, 5 * n, &data_rng));
+
+  SnapshotOptions snapshot_options;
+  snapshot_options.epsilon = epsilon;
+  snapshot_options.strategy = strategy.value();
+  snapshot_options.branching = branching;
+
+  // Pre-generated phase workloads: random location, mixed sizes, shared
+  // verbatim by every client thread of a run.
+  Rng workload_rng(13);
+  std::vector<std::vector<Interval>> phases(
+      static_cast<std::size_t>(phase_count));
+  for (auto& phase : phases) {
+    phase.reserve(static_cast<std::size_t>(queries_per_phase));
+    for (std::int64_t i = 0; i < queries_per_phase; ++i) {
+      std::int64_t lo = workload_rng.NextInt(0, n - 1);
+      phase.emplace_back(lo, workload_rng.NextInt(lo, n - 1));
+    }
+  }
+
+  std::vector<ResultRow> rows;
+  // Speedup baseline: the smallest thread count actually run (1 with the
+  // default list), so a custom --threads-list can never yield a silently
+  // zero acceptance metric.
+  double qps_base_cached = 0.0;
+  double qps_max_cached = 0.0;
+  int base_threads = 0;
+  int max_threads = 0;
+  for (bool cached : {false, true}) {
+    for (int threads : thread_counts) {
+      // Fresh service per run: empty cache, then one publish.
+      QueryServiceOptions service_options;
+      service_options.cache_capacity = cached ? cache_capacity : 0;
+      service_options.cache_lock_shards = lock_shards;
+      QueryService service(service_options);
+      auto published = service.Publish(data, snapshot_options, seed);
+      DPHIST_CHECK_MSG(published.ok(), "publish failed");
+
+      RunResult result = RunClients(service, threads, phases);
+      rows.push_back(
+          {threads, cached, result.aggregate_qps, result.hit_rate});
+      std::fprintf(stderr, "%s %d thread(s): %.3g q/s (hit rate %.2f)\n",
+                   cached ? "cached" : "uncached", threads,
+                   result.aggregate_qps, result.hit_rate);
+      if (cached) {
+        if (base_threads == 0 || threads < base_threads) {
+          base_threads = threads;
+          qps_base_cached = result.aggregate_qps;
+        }
+        if (threads >= max_threads) {
+          max_threads = threads;
+          qps_max_cached = result.aggregate_qps;
+        }
+      }
+    }
+  }
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"service_throughput\",\n");
+  std::printf("  \"build\": \"%s\",\n",
+#ifdef NDEBUG
+              "Release"
+#else
+              "Debug"
+#endif
+  );
+  std::printf("  \"domain_log2\": %lld,\n",
+              static_cast<long long>(domain_log2));
+  std::printf("  \"strategy\": \"%s\",\n",
+              StrategyKindName(strategy.value()));
+  std::printf("  \"branching\": %lld,\n", static_cast<long long>(branching));
+  std::printf("  \"epsilon\": %g,\n", epsilon);
+  std::printf("  \"queries_per_phase\": %lld,\n",
+              static_cast<long long>(queries_per_phase));
+  std::printf("  \"phases\": %lld,\n", static_cast<long long>(phase_count));
+  std::printf("  \"cache_capacity\": %lld,\n",
+              static_cast<long long>(cache_capacity));
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::printf(
+        "    {\"threads\": %d, \"cached\": %s, "
+        "\"aggregate_queries_per_sec\": %.6g, \"cache_hit_rate\": %.4f}%s\n",
+        rows[i].threads, rows[i].cached ? "true" : "false",
+        rows[i].aggregate_qps, rows[i].hit_rate,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"summary\": {\n");
+  std::printf("    \"min_threads\": %d,\n", base_threads);
+  std::printf("    \"max_threads\": %d,\n", max_threads);
+  std::printf("    \"cached_qps_at_min_threads\": %.6g,\n", qps_base_cached);
+  std::printf("    \"cached_qps_at_max_threads\": %.6g,\n", qps_max_cached);
+  std::printf("    \"cached_speedup_max_over_min\": %.3f\n",
+              qps_base_cached > 0.0 ? qps_max_cached / qps_base_cached
+                                    : 0.0);
+  std::printf("  }\n");
+  std::printf("}\n");
+  return 0;
+}

@@ -46,6 +46,11 @@
 #include "estimators/universal2d.h"          // IWYU pragma: export
 #include "estimators/wavelet.h"              // IWYU pragma: export
 
+// Serving layer.
+#include "service/answer_cache.h"   // IWYU pragma: export
+#include "service/query_service.h"  // IWYU pragma: export
+#include "service/snapshot.h"       // IWYU pragma: export
+
 // Synthetic data.
 #include "data/csv.h"             // IWYU pragma: export
 #include "data/nettrace.h"        // IWYU pragma: export

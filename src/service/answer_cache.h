@@ -1,0 +1,109 @@
+// Thread-safe LRU cache of range answers, keyed on (epoch, range).
+//
+// The serving layer memoizes computed range counts so repeated traffic —
+// many clients asking the same popular ranges — pays one estimator walk
+// and then a hash lookup. The snapshot epoch is part of the key, so a
+// republish never needs invalidation: entries from an old epoch simply
+// stop being asked for and age out of the LRU order.
+//
+// Concurrency: the key space is partitioned across independent lock
+// shards (hash-selected), each holding its own mutex, hash map, and LRU
+// list. Readers on different shards never contend; within a shard, both
+// hits and misses take one short critical section. A concurrent miss on
+// the same key may compute the answer twice and insert twice — the
+// second insert overwrites with an identical value (answers are a pure
+// function of the immutable snapshot), so the race is benign.
+
+#ifndef DPHIST_SERVICE_ANSWER_CACHE_H_
+#define DPHIST_SERVICE_ANSWER_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "domain/interval.h"
+
+namespace dphist {
+
+/// Sharded LRU map from (epoch, lo, hi) to a cached answer.
+class AnswerCache {
+ public:
+  /// `capacity` is the minimum total number of cached answers across all
+  /// lock shards (the effective total is capacity rounded up to a
+  /// multiple of the lock shards, so a hot set that fits the declared
+  /// capacity never thrashes); 0 disables the cache entirely (Lookup
+  /// always misses, Insert is a no-op). `lock_shards` is rounded up to a
+  /// power of two and shrunk if the capacity cannot fill every shard.
+  explicit AnswerCache(std::int64_t capacity, std::int64_t lock_shards = 16);
+
+  AnswerCache(const AnswerCache&) = delete;
+  AnswerCache& operator=(const AnswerCache&) = delete;
+
+  /// True and fills `*out` when (epoch, range) is cached; refreshes the
+  /// entry's LRU position.
+  bool Lookup(std::uint64_t epoch, const Interval& range, double* out);
+
+  /// Caches the answer, evicting the least-recently-used entry of the
+  /// key's lock shard when that shard is full.
+  void Insert(std::uint64_t epoch, const Interval& range, double answer);
+
+  /// Drops every entry (stats are kept).
+  void Clear();
+
+  bool enabled() const { return capacity_ > 0; }
+  std::int64_t capacity() const { return capacity_; }
+
+  /// Entries currently cached, summed over lock shards.
+  std::int64_t size() const;
+
+  /// Monotonic counters; cheap relaxed atomics, safe to read anytime.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Key {
+    std::uint64_t epoch;
+    std::int64_t lo;
+    std::int64_t hi;
+    bool operator==(const Key& other) const {
+      return epoch == other.epoch && lo == other.lo && hi == other.hi;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const;
+  };
+  struct Entry {
+    Key key;
+    double answer;
+  };
+  struct Shard {
+    std::mutex mutex;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+  };
+
+  Shard& ShardFor(const Key& key);
+
+  std::int64_t capacity_;
+  std::int64_t per_shard_capacity_;
+  std::size_t shard_mask_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_SERVICE_ANSWER_CACHE_H_

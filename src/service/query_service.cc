@@ -1,0 +1,58 @@
+#include "service/query_service.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dphist {
+
+QueryService::QueryService(const QueryServiceOptions& options)
+    : cache_(options.cache_capacity, options.cache_lock_shards) {}
+
+Result<std::shared_ptr<const Snapshot>> QueryService::Publish(
+    const Histogram& data, const SnapshotOptions& options,
+    std::uint64_t seed) {
+  // Serializing publishers keeps epoch order equal to publish order; the
+  // expensive Build happens inside this writer-only lock, which readers
+  // never touch.
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  const std::uint64_t epoch = last_epoch_ + 1;
+  Rng rng(seed);
+  Result<std::shared_ptr<const Snapshot>> built =
+      Snapshot::Build(data, options, epoch, &rng);
+  if (!built.ok()) return built;
+  last_epoch_ = epoch;
+  snapshot_.store(built.value(), std::memory_order_release);
+  return built;
+}
+
+std::uint64_t QueryService::QueryBatch(const Interval* ranges,
+                                       std::size_t count, double* out) const {
+  std::shared_ptr<const Snapshot> snap =
+      snapshot_.load(std::memory_order_acquire);
+  DPHIST_CHECK_MSG(snap != nullptr, "QueryBatch before the first Publish");
+  if (!cache_.enabled()) {
+    snap->RangeCountsInto(ranges, count, out);
+    return snap->epoch();
+  }
+  const std::uint64_t epoch = snap->epoch();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (cache_.Lookup(epoch, ranges[i], &out[i])) continue;
+    out[i] = snap->RangeCount(ranges[i]);
+    cache_.Insert(epoch, ranges[i], out[i]);
+  }
+  return epoch;
+}
+
+std::uint64_t QueryService::Query(const Interval& range, double* out) const {
+  return QueryBatch(&range, 1, out);
+}
+
+std::uint64_t QueryService::current_epoch() const {
+  std::shared_ptr<const Snapshot> snap =
+      snapshot_.load(std::memory_order_acquire);
+  return snap == nullptr ? 0 : snap->epoch();
+}
+
+}  // namespace dphist

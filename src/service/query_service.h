@@ -1,0 +1,95 @@
+// Thread-safe, read-mostly query serving over published DP releases.
+//
+// QueryService multiplexes any number of concurrent readers over one
+// current Snapshot (see snapshot.h) plus an optional shared LRU answer
+// cache (see answer_cache.h). The snapshot pointer is swapped atomically
+// on republish, so:
+//
+//   - readers never block, not even while a publish is building the next
+//     release (construction happens outside the swap);
+//   - a batch is answered entirely against the single snapshot loaded at
+//     its start, so its answers are internally consistent — one epoch,
+//     one release — even when a swap lands mid-batch;
+//   - cache keys include the epoch, so answers computed under different
+//     releases can never be served for one another.
+//
+// Lifetime: readers hold a shared_ptr to the snapshot for the duration
+// of a batch; a replaced snapshot is destroyed when its last in-flight
+// batch finishes.
+
+#ifndef DPHIST_SERVICE_QUERY_SERVICE_H_
+#define DPHIST_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/status.h"
+#include "domain/histogram.h"
+#include "domain/interval.h"
+#include "service/answer_cache.h"
+#include "service/snapshot.h"
+
+namespace dphist {
+
+/// Serving-side knobs (the per-release knobs live in SnapshotOptions).
+struct QueryServiceOptions {
+  /// Total cached answers across the cache's lock shards; 0 disables
+  /// caching, which also makes the batch path allocation-free.
+  std::int64_t cache_capacity = 0;
+  /// Lock shards of the answer cache (rounded up to a power of two).
+  std::int64_t cache_lock_shards = 16;
+};
+
+/// Concurrent range-count server over atomically swappable snapshots.
+class QueryService {
+ public:
+  explicit QueryService(const QueryServiceOptions& options = {});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Builds a release from `data` and atomically swaps it in as the
+  /// current snapshot with a fresh monotonically increasing epoch.
+  /// Building happens outside the swap, so concurrent readers keep
+  /// answering from the previous snapshot until the new one is ready.
+  /// Concurrent publishers are serialized; readers are never blocked.
+  Result<std::shared_ptr<const Snapshot>> Publish(
+      const Histogram& data, const SnapshotOptions& options,
+      std::uint64_t seed);
+
+  /// The currently published snapshot; null before the first Publish.
+  std::shared_ptr<const Snapshot> snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// Answers `count` ranges into `out`, all against the single snapshot
+  /// current when the batch started, and returns that snapshot's epoch.
+  /// Cached answers are reused and misses are cached. Requires a
+  /// published snapshot. With the cache disabled this performs zero heap
+  /// allocations (single-shard snapshots additionally pay only one
+  /// virtual dispatch for the whole batch).
+  std::uint64_t QueryBatch(const Interval* ranges, std::size_t count,
+                           double* out) const;
+
+  /// Single-range convenience form of QueryBatch.
+  std::uint64_t Query(const Interval& range, double* out) const;
+
+  bool cache_enabled() const { return cache_.enabled(); }
+  AnswerCache::Stats cache_stats() const { return cache_.stats(); }
+
+  /// Epoch of the current snapshot; 0 before the first Publish.
+  std::uint64_t current_epoch() const;
+
+ private:
+  mutable AnswerCache cache_;
+  /// Serializes publishers so epochs increase in publish order.
+  std::mutex publish_mutex_;
+  std::uint64_t last_epoch_ = 0;
+  std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_SERVICE_QUERY_SERVICE_H_

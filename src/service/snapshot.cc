@@ -1,0 +1,145 @@
+#include "service/snapshot.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "estimators/universal.h"
+#include "estimators/wavelet.h"
+
+namespace dphist {
+namespace {
+
+/// The counts of `data` restricted to [lo, hi], as a shard-local
+/// histogram over positions 0..hi-lo.
+Histogram SliceHistogram(const Histogram& data, std::int64_t lo,
+                         std::int64_t hi) {
+  const std::vector<double>& counts = data.counts();
+  std::vector<double> slice(counts.begin() + lo, counts.begin() + hi + 1);
+  return Histogram(std::move(slice), data.domain().attribute());
+}
+
+std::unique_ptr<RangeCountEstimator> BuildShard(const Histogram& shard_data,
+                                                const SnapshotOptions& options,
+                                                Rng* rng) {
+  UniversalOptions universal;
+  universal.epsilon = options.epsilon;
+  universal.branching = options.branching;
+  universal.round_to_nonnegative_integers =
+      options.round_to_nonnegative_integers;
+  universal.prune_nonpositive_subtrees = options.prune_nonpositive_subtrees;
+  switch (options.strategy) {
+    case StrategyKind::kLTilde:
+      return std::make_unique<LTildeEstimator>(shard_data, universal, rng);
+    case StrategyKind::kHTilde:
+      return std::make_unique<HTildeEstimator>(shard_data, universal, rng);
+    case StrategyKind::kHBar:
+      return std::make_unique<HBarEstimator>(shard_data, universal, rng);
+    case StrategyKind::kWavelet: {
+      WaveletOptions wavelet;
+      wavelet.epsilon = options.epsilon;
+      wavelet.round_to_nonnegative_integers =
+          options.round_to_nonnegative_integers;
+      return std::make_unique<WaveletEstimator>(shard_data, wavelet, rng);
+    }
+  }
+  DPHIST_CHECK_MSG(false, "unreachable: unknown StrategyKind");
+  return nullptr;
+}
+
+}  // namespace
+
+const char* StrategyKindName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kLTilde:
+      return "ltilde";
+    case StrategyKind::kHTilde:
+      return "htilde";
+    case StrategyKind::kHBar:
+      return "hbar";
+    case StrategyKind::kWavelet:
+      return "wavelet";
+  }
+  return "unknown";
+}
+
+Result<StrategyKind> ParseStrategyKind(const std::string& name) {
+  if (name == "ltilde" || name == "L~") return StrategyKind::kLTilde;
+  if (name == "htilde" || name == "H~") return StrategyKind::kHTilde;
+  if (name == "hbar" || name == "H-bar") return StrategyKind::kHBar;
+  if (name == "wavelet") return StrategyKind::kWavelet;
+  return Status::InvalidArgument("unknown strategy: " + name);
+}
+
+Result<std::shared_ptr<const Snapshot>> Snapshot::Build(
+    const Histogram& data, const SnapshotOptions& options,
+    std::uint64_t epoch, Rng* rng) {
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (options.branching < 2) {
+    return Status::InvalidArgument("branching must be >= 2");
+  }
+  if (options.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  const std::int64_t n = data.size();
+  if (n < 1) return Status::InvalidArgument("domain must be non-empty");
+
+  const std::int64_t requested = std::min(options.shards, n);
+  const std::int64_t width = (n + requested - 1) / requested;
+  const std::int64_t count = (n + width - 1) / width;
+
+  std::vector<std::unique_ptr<RangeCountEstimator>> shards;
+  shards.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t lo = i * width;
+    const std::int64_t hi = std::min(n - 1, lo + width - 1);
+    // Fork in shard order so the release is reproducible regardless of
+    // how the estimator constructors consume their streams.
+    Rng shard_rng = rng->Fork();
+    shards.push_back(
+        BuildShard(SliceHistogram(data, lo, hi), options, &shard_rng));
+  }
+  return std::shared_ptr<const Snapshot>(
+      new Snapshot(options, epoch, n, width, std::move(shards)));
+}
+
+const RangeCountEstimator& Snapshot::shard(std::int64_t index) const {
+  DPHIST_CHECK_MSG(index >= 0 && index < shard_count(),
+                   "shard index out of range");
+  return *shards_[static_cast<std::size_t>(index)];
+}
+
+double Snapshot::RangeCount(const Interval& range) const {
+  DPHIST_CHECK_MSG(range.lo() >= 0 && range.hi() < domain_size_,
+                   "range outside the snapshot's domain");
+  const std::int64_t first = range.lo() / shard_width_;
+  const std::int64_t last = range.hi() / shard_width_;
+  if (first == last) {
+    const std::int64_t base = first * shard_width_;
+    return shards_[static_cast<std::size_t>(first)]->RangeCount(
+        Interval(range.lo() - base, range.hi() - base));
+  }
+  double total = 0.0;
+  for (std::int64_t s = first; s <= last; ++s) {
+    const std::int64_t base = s * shard_width_;
+    const std::int64_t hi =
+        std::min({range.hi(), base + shard_width_ - 1, domain_size_ - 1});
+    const std::int64_t lo = std::max(range.lo(), base);
+    total += shards_[static_cast<std::size_t>(s)]->RangeCount(
+        Interval(lo - base, hi - base));
+  }
+  return total;
+}
+
+void Snapshot::RangeCountsInto(const Interval* ranges, std::size_t count,
+                               double* out) const {
+  if (shards_.size() == 1) {
+    shards_[0]->RangeCountsInto(ranges, count, out);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) out[i] = RangeCount(ranges[i]);
+}
+
+}  // namespace dphist

@@ -1,0 +1,129 @@
+// Immutable published estimator state for the serving layer.
+//
+// A Snapshot is one epsilon-DP release frozen for concurrent reading: it
+// owns per-shard range-count estimators (HBar/HTilde/LTilde/wavelet)
+// built from one interaction with the private data, plus the epoch
+// number the QueryService assigned when publishing it. Snapshots are
+// immutable after Build, so any number of threads may answer ranges from
+// one concurrently with no synchronization; republishing at a new
+// epsilon swaps in a *new* Snapshot rather than mutating this one.
+//
+// Sharding: the domain is split into contiguous shards of equal width
+// and each shard gets its own estimator over its sub-histogram. Every
+// record lives in exactly one shard, so the per-shard releases compose
+// in parallel (McSherry's parallel composition) and the whole snapshot
+// is still epsilon-DP. A range spanning shards is answered by summing
+// the clipped per-shard answers; since shard noise draws are
+// independent, the exact variance of a spanning answer is the sum of
+// the per-shard closed-form variances — which is what the conformance
+// harness in tests/support/ checks.
+
+#ifndef DPHIST_SERVICE_SNAPSHOT_H_
+#define DPHIST_SERVICE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "domain/histogram.h"
+#include "domain/interval.h"
+#include "estimators/range_engine.h"
+
+namespace dphist {
+
+/// Which estimator family a snapshot publishes.
+enum class StrategyKind {
+  kLTilde,   // noisy unit counts (L~)
+  kHTilde,   // noisy hierarchical counts (H~)
+  kHBar,     // H~ + constrained inference (H-bar)
+  kWavelet,  // Privelet weighted Haar
+};
+
+/// Short stable name ("ltilde", "htilde", "hbar", "wavelet").
+const char* StrategyKindName(StrategyKind kind);
+
+/// Inverse of StrategyKindName; also accepts the display names
+/// ("L~", "H~", "H-bar").
+Result<StrategyKind> ParseStrategyKind(const std::string& name);
+
+/// Everything that defines one published release.
+struct SnapshotOptions {
+  /// Privacy parameter of the release (per shard; parallel composition
+  /// keeps the whole snapshot at this epsilon).
+  double epsilon = 1.0;
+  StrategyKind strategy = StrategyKind::kHBar;
+  /// Tree branching factor (H~/H-bar only).
+  std::int64_t branching = 2;
+  /// Number of domain shards; clamped to the domain size. 1 = unsharded.
+  std::int64_t shards = 1;
+  /// Section 5.2 protocol knobs, forwarded to the estimators.
+  bool round_to_nonnegative_integers = true;
+  bool prune_nonpositive_subtrees = true;
+};
+
+/// One immutable epsilon-DP release, safe for lock-free concurrent reads.
+class Snapshot {
+ public:
+  /// Draws the noise and builds every shard estimator. Each shard forks
+  /// its own stream from `rng` in shard order, so the release is a
+  /// deterministic function of (data, options, rng state). Fails on
+  /// non-positive epsilon, branching < 2, shards < 1, or an empty domain.
+  static Result<std::shared_ptr<const Snapshot>> Build(
+      const Histogram& data, const SnapshotOptions& options,
+      std::uint64_t epoch, Rng* rng);
+
+  /// Epoch assigned by the publisher; cache keys include it so answers
+  /// from different releases can never be confused.
+  std::uint64_t epoch() const { return epoch_; }
+
+  double epsilon() const { return options_.epsilon; }
+  StrategyKind strategy() const { return options_.strategy; }
+  const SnapshotOptions& options() const { return options_; }
+
+  /// The (unpadded) domain size the release covers.
+  std::int64_t domain_size() const { return domain_size_; }
+
+  /// Actual shard count after clamping (>= 1).
+  std::int64_t shard_count() const {
+    return static_cast<std::int64_t>(shards_.size());
+  }
+
+  /// Positions per shard (the last shard may be narrower).
+  std::int64_t shard_width() const { return shard_width_; }
+
+  /// The shard estimators, in domain order.
+  const RangeCountEstimator& shard(std::int64_t index) const;
+
+  /// Estimated count for `range` (must lie within [0, domain_size)).
+  /// Sums clipped per-shard answers; no heap allocation.
+  double RangeCount(const Interval& range) const;
+
+  /// Batched form: fills out[i] with the answer for ranges[i]. With a
+  /// single shard this forwards the whole batch to the estimator's
+  /// RangeCountsInto (one virtual dispatch, zero allocations).
+  void RangeCountsInto(const Interval* ranges, std::size_t count,
+                       double* out) const;
+
+ private:
+  Snapshot(SnapshotOptions options, std::uint64_t epoch,
+           std::int64_t domain_size, std::int64_t shard_width,
+           std::vector<std::unique_ptr<RangeCountEstimator>> shards)
+      : options_(options),
+        epoch_(epoch),
+        domain_size_(domain_size),
+        shard_width_(shard_width),
+        shards_(std::move(shards)) {}
+
+  SnapshotOptions options_;
+  std::uint64_t epoch_;
+  std::int64_t domain_size_;
+  std::int64_t shard_width_;
+  std::vector<std::unique_ptr<RangeCountEstimator>> shards_;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_SERVICE_SNAPSHOT_H_

@@ -4,10 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "data/social_network.h"
+#include "estimators/unattributed.h"
 #include "experiments/runner.h"
+#include "tests/experiments/golden_cells.h"
 
 namespace dphist {
 namespace {
@@ -84,6 +88,91 @@ TEST(ParallelRunnerTest, HardwareConcurrencyKnobAlsoBitIdentical) {
   ASSERT_EQ(parallel.size(), sequential.size());
   for (std::size_t i = 0; i < sequential.size(); ++i) {
     EXPECT_EQ(parallel[i].avg_squared_error, sequential[i].avg_squared_error);
+  }
+}
+
+// ---- Golden-file regression (committed fixed-seed expected outputs) ----
+//
+// The runners must reproduce tests/experiments/golden_cells.h bit for
+// bit — at 1 thread AND at 8 threads, since the parallel merge is
+// deterministic by design. Regenerate (after an intentional protocol
+// change) with DPHIST_PRINT_GOLDEN=1.
+
+UniversalExperimentConfig GoldenUniversalConfig(std::int64_t threads) {
+  UniversalExperimentConfig config;
+  config.epsilons = {1.0, 0.1};
+  config.trials = 5;
+  config.ranges_per_size = 40;
+  config.threads = threads;
+  return config;
+}
+
+UnattributedExperimentConfig GoldenUnattributedConfig(std::int64_t threads) {
+  UnattributedExperimentConfig config;
+  config.epsilons = {1.0, 0.01};
+  config.trials = 6;
+  config.threads = threads;
+  return config;
+}
+
+bool PrintGoldenRequested() {
+  const char* env = std::getenv("DPHIST_PRINT_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+TEST(GoldenCellsTest, UniversalRunnerReproducesGoldenBitForBit) {
+  Histogram data = TestData();
+  for (std::int64_t threads : {1, 8}) {
+    std::vector<UniversalCell> cells =
+        RunUniversalExperiment(data, GoldenUniversalConfig(threads));
+    if (PrintGoldenRequested() && threads == 1) {
+      for (const UniversalCell& c : cells) {
+        std::printf("    {%a, \"%s\", %lld, %a},\n", c.epsilon,
+                    c.estimator.c_str(),
+                    static_cast<long long>(c.range_size),
+                    c.avg_squared_error);
+      }
+    }
+    ASSERT_EQ(cells.size(), std::size(golden::kUniversalCells))
+        << threads << " threads";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const golden::GoldenUniversalCell& want = golden::kUniversalCells[i];
+      EXPECT_EQ(cells[i].epsilon, want.epsilon) << i;
+      EXPECT_EQ(cells[i].estimator, want.estimator) << i;
+      EXPECT_EQ(cells[i].range_size, want.range_size) << i;
+      // Bit-identical, not merely close.
+      EXPECT_EQ(cells[i].avg_squared_error, want.avg_squared_error)
+          << "cell " << i << " (" << cells[i].estimator << ", eps "
+          << cells[i].epsilon << ", size " << cells[i].range_size << ") at "
+          << threads << " threads";
+    }
+  }
+}
+
+TEST(GoldenCellsTest, UnattributedRunnerReproducesGoldenBitForBit) {
+  Histogram data = TestData();
+  for (std::int64_t threads : {1, 8}) {
+    std::vector<UnattributedCell> cells =
+        RunUnattributedExperiment(data, GoldenUnattributedConfig(threads));
+    if (PrintGoldenRequested() && threads == 1) {
+      for (const UnattributedCell& c : cells) {
+        std::printf("    {%a, UnattributedEstimator(%d), %a, %a},\n",
+                    c.epsilon, static_cast<int>(c.estimator),
+                    c.total_squared_error, c.per_count_error);
+      }
+    }
+    ASSERT_EQ(cells.size(), std::size(golden::kUnattributedCells))
+        << threads << " threads";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const golden::GoldenUnattributedCell& want =
+          golden::kUnattributedCells[i];
+      EXPECT_EQ(cells[i].epsilon, want.epsilon) << i;
+      EXPECT_EQ(cells[i].estimator, want.estimator) << i;
+      EXPECT_EQ(cells[i].total_squared_error, want.total_squared_error)
+          << "cell " << i << " at " << threads << " threads";
+      EXPECT_EQ(cells[i].per_count_error, want.per_count_error)
+          << "cell " << i << " at " << threads << " threads";
+    }
   }
 }
 

@@ -19,6 +19,7 @@
 #include "estimators/universal.h"
 #include "mechanism/laplace_mechanism.h"
 #include "query/hierarchical_query.h"
+#include "service/query_service.h"
 #include "tree/range_decomposition.h"
 
 namespace {
@@ -160,6 +161,49 @@ TEST_F(EstimatorAllocationTest, HBarDecompositionFallbackIsAllocationFree) {
   ASSERT_FALSE(h_bar_rounded_->uses_prefix_fast_path());
   EXPECT_EQ(ScalarAllocations(*h_bar_rounded_), 0u);
   EXPECT_EQ(BatchedAllocations(*h_bar_rounded_), 0u);
+}
+
+TEST(ServiceAllocationTest, UncachedQueryBatchIsAllocationFree) {
+  // The serving hot path inherits the estimators' zero-allocation
+  // guarantee when the cache is off: QueryBatch loads the snapshot
+  // shared_ptr (refcount bump, no heap) and forwards the whole batch.
+  Rng data_rng(3);
+  Histogram data = Histogram::FromCounts(
+      ZipfCounts(1 << 12, 1.2, 4 << 12, &data_rng));
+  QueryService service;  // cache_capacity = 0
+  SnapshotOptions options;
+  options.strategy = StrategyKind::kHTilde;
+  ASSERT_TRUE(service.Publish(data, options, 9).ok());
+
+  std::vector<Interval> workload = FixedWorkload(1 << 12);
+  std::vector<double> answers(workload.size());
+  std::size_t allocs = AllocationsDuring([&] {
+    service.QueryBatch(workload.data(), workload.size(), answers.data());
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(ServiceAllocationTest, CachedQueryBatchStopsAllocatingOnceWarm) {
+  // With the cache on, a miss inserts (allocates); a warm replay of the
+  // same workload is pure hits and must allocate nothing.
+  Rng data_rng(3);
+  Histogram data = Histogram::FromCounts(
+      ZipfCounts(1 << 12, 1.2, 4 << 12, &data_rng));
+  QueryServiceOptions service_options;
+  service_options.cache_capacity = 4096;
+  QueryService service(service_options);
+  SnapshotOptions options;
+  options.strategy = StrategyKind::kHTilde;
+  ASSERT_TRUE(service.Publish(data, options, 9).ok());
+
+  std::vector<Interval> workload = FixedWorkload(1 << 12);
+  std::vector<double> answers(workload.size());
+  // AllocationsDuring's built-in warm-up pass fills the cache.
+  std::size_t allocs = AllocationsDuring([&] {
+    service.QueryBatch(workload.data(), workload.size(), answers.data());
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_GT(service.cache_stats().hits, 0u);
 }
 
 TEST_F(EstimatorAllocationTest, LegacyDecomposeRangeStillAllocates) {

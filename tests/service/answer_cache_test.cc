@@ -1,0 +1,133 @@
+#include "service/answer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "domain/interval.h"
+
+namespace dphist {
+namespace {
+
+TEST(AnswerCacheTest, DisabledCacheAlwaysMisses) {
+  AnswerCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert(1, Interval(0, 5), 3.0);
+  double out = 0.0;
+  EXPECT_FALSE(cache.Lookup(1, Interval(0, 5), &out));
+  EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(AnswerCacheTest, InsertThenLookupRoundTrips) {
+  AnswerCache cache(64);
+  cache.Insert(7, Interval(3, 9), 42.5);
+  double out = 0.0;
+  ASSERT_TRUE(cache.Lookup(7, Interval(3, 9), &out));
+  EXPECT_EQ(out, 42.5);
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(AnswerCacheTest, EpochIsPartOfTheKey) {
+  AnswerCache cache(64);
+  cache.Insert(1, Interval(0, 3), 10.0);
+  cache.Insert(2, Interval(0, 3), 20.0);
+  double out = 0.0;
+  ASSERT_TRUE(cache.Lookup(1, Interval(0, 3), &out));
+  EXPECT_EQ(out, 10.0);
+  ASSERT_TRUE(cache.Lookup(2, Interval(0, 3), &out));
+  EXPECT_EQ(out, 20.0);
+  EXPECT_FALSE(cache.Lookup(3, Interval(0, 3), &out));
+}
+
+TEST(AnswerCacheTest, EvictsLeastRecentlyUsedWithinShard) {
+  // One lock shard so the LRU order is global and deterministic.
+  AnswerCache cache(/*capacity=*/3, /*lock_shards=*/1);
+  cache.Insert(1, Interval(0, 0), 0.0);
+  cache.Insert(1, Interval(1, 1), 1.0);
+  cache.Insert(1, Interval(2, 2), 2.0);
+
+  // Touch (0,0) so (1,1) becomes the eviction victim.
+  double out = 0.0;
+  ASSERT_TRUE(cache.Lookup(1, Interval(0, 0), &out));
+  cache.Insert(1, Interval(3, 3), 3.0);
+
+  EXPECT_TRUE(cache.Lookup(1, Interval(0, 0), &out));
+  EXPECT_FALSE(cache.Lookup(1, Interval(1, 1), &out));
+  EXPECT_TRUE(cache.Lookup(1, Interval(2, 2), &out));
+  EXPECT_TRUE(cache.Lookup(1, Interval(3, 3), &out));
+  EXPECT_EQ(cache.size(), 3);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(AnswerCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  AnswerCache cache(/*capacity=*/2, /*lock_shards=*/1);
+  cache.Insert(1, Interval(0, 0), 1.0);
+  cache.Insert(1, Interval(0, 0), 2.0);
+  EXPECT_EQ(cache.size(), 1);
+  double out = 0.0;
+  ASSERT_TRUE(cache.Lookup(1, Interval(0, 0), &out));
+  EXPECT_EQ(out, 2.0);
+}
+
+TEST(AnswerCacheTest, ClearDropsEntriesButKeepsStats) {
+  AnswerCache cache(16);
+  cache.Insert(1, Interval(0, 1), 1.0);
+  double out = 0.0;
+  ASSERT_TRUE(cache.Lookup(1, Interval(0, 1), &out));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_FALSE(cache.Lookup(1, Interval(0, 1), &out));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(AnswerCacheTest, StatsCountHitsAndMisses) {
+  AnswerCache cache(16);
+  double out = 0.0;
+  EXPECT_FALSE(cache.Lookup(1, Interval(0, 0), &out));
+  cache.Insert(1, Interval(0, 0), 5.0);
+  EXPECT_TRUE(cache.Lookup(1, Interval(0, 0), &out));
+  EXPECT_TRUE(cache.Lookup(1, Interval(0, 0), &out));
+  AnswerCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(AnswerCacheTest, CapacityNeverExceededUnderConcurrentTraffic) {
+  constexpr std::int64_t kCapacity = 128;
+  AnswerCache cache(kCapacity, /*lock_shards=*/8);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      // Overlapping key ranges across threads: plenty of hit/miss/evict
+      // interleavings. The cached value is a pure function of the key, so
+      // every successful lookup must return exactly that function.
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::int64_t lo = (t * 37 + i) % 511;
+        const Interval q(lo, lo + 3);
+        const std::uint64_t epoch = 1 + (i % 3);
+        double out = 0.0;
+        if (cache.Lookup(epoch, q, &out)) {
+          ASSERT_EQ(out, static_cast<double>(lo * 10 + epoch));
+        } else {
+          cache.Insert(epoch, q, static_cast<double>(lo * 10 + epoch));
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_LE(cache.size(), kCapacity);
+  AnswerCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+}
+
+}  // namespace
+}  // namespace dphist

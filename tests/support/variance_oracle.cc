@@ -1,0 +1,104 @@
+#include "tests/support/variance_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "tree/range_decomposition.h"
+#include "tree/tree_layout.h"
+
+namespace dphist::test_support {
+namespace {
+
+std::int64_t NextPowerOfTwo(std::int64_t n) {
+  std::int64_t p = 1;
+  while (p < n) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+VarianceOracle::VarianceOracle(const SnapshotOptions& options,
+                               std::int64_t domain_size)
+    : options_(options), domain_size_(domain_size) {
+  DPHIST_CHECK_MSG(domain_size_ >= 1, "domain must be non-empty");
+  DPHIST_CHECK_MSG(!options_.round_to_nonnegative_integers &&
+                       !options_.prune_nonpositive_subtrees,
+                   "closed forms hold only for the linear protocol "
+                   "(rounding and pruning off)");
+  const std::int64_t requested = std::min(options_.shards, domain_size_);
+  DPHIST_CHECK_MSG(requested >= 1, "shards must be >= 1");
+  shard_width_ = (domain_size_ + requested - 1) / requested;
+}
+
+double VarianceOracle::RangeVariance(const Interval& range) const {
+  DPHIST_CHECK_MSG(range.lo() >= 0 && range.hi() < domain_size_,
+                   "range outside the oracle's domain");
+  // Independent shard noise: the spanning variance is the sum of the
+  // clipped per-shard variances (mirrors Snapshot::RangeCount).
+  double total = 0.0;
+  const std::int64_t first = range.lo() / shard_width_;
+  const std::int64_t last = range.hi() / shard_width_;
+  for (std::int64_t s = first; s <= last; ++s) {
+    const std::int64_t base = s * shard_width_;
+    const std::int64_t width =
+        std::min(shard_width_, domain_size_ - base);
+    const std::int64_t lo = std::max(range.lo(), base);
+    const std::int64_t hi =
+        std::min({range.hi(), base + shard_width_ - 1, domain_size_ - 1});
+    total += ShardVariance(width, Interval(lo - base, hi - base));
+  }
+  return total;
+}
+
+double VarianceOracle::ShardVariance(std::int64_t width,
+                                     const Interval& local) const {
+  const double eps = options_.epsilon;
+  switch (options_.strategy) {
+    case StrategyKind::kLTilde:
+      // Sum of |q| independent Laplace(1/eps): 2 |q| / eps^2.
+      return 2.0 * static_cast<double>(local.Length()) / (eps * eps);
+    case StrategyKind::kHTilde: {
+      // Decomposition sum of independent Laplace(ell/eps) node answers.
+      TreeLayout tree(width, options_.branching);
+      const std::int64_t nodes =
+          static_cast<std::int64_t>(DecomposeRange(tree, local).size());
+      const double scale = static_cast<double>(tree.height()) / eps;
+      return static_cast<double>(nodes) * 2.0 * scale * scale;
+    }
+    case StrategyKind::kHBar:
+    case StrategyKind::kWavelet:
+      // Theorem 3 inference and Haar reconstruction are both exactly the
+      // OLS estimate under their strategy matrix.
+      return AnalyzerFor(width).RangeVariance(local);
+  }
+  DPHIST_CHECK_MSG(false, "unreachable: unknown StrategyKind");
+  return 0.0;
+}
+
+const StrategyAnalyzer& VarianceOracle::AnalyzerFor(
+    std::int64_t width) const {
+  auto it = analyzers_.find(width);
+  if (it == analyzers_.end()) {
+    linalg::Matrix strategy =
+        options_.strategy == StrategyKind::kWavelet
+            ? WaveletStrategy(NextPowerOfTwo(width))
+            : HierarchicalStrategy(width, options_.branching);
+    Result<StrategyAnalyzer> analyzer =
+        StrategyAnalyzer::Create(strategy, options_.epsilon);
+    DPHIST_CHECK_MSG(analyzer.ok(), "strategy analyzer construction failed");
+    it = analyzers_
+             .emplace(width, std::make_unique<StrategyAnalyzer>(
+                                 std::move(analyzer).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+double SquaredErrorRelativeBound(std::int64_t trials, double z_score) {
+  DPHIST_CHECK_MSG(trials >= 1, "trials must be >= 1");
+  return z_score * std::sqrt(5.0 / static_cast<double>(trials));
+}
+
+}  // namespace dphist::test_support

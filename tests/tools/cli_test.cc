@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -159,6 +160,132 @@ TEST(CliTest, QueryValidatesBounds) {
             0);
   EXPECT_EQ(std::strtod(out.c_str(), nullptr), 6.0);
   std::remove(release_path.c_str());
+}
+
+TEST(CliTest, ServeAnswersWorkloadFile) {
+  std::string data_path = TempPath("cli_serve_data.csv");
+  std::string queries_path = TempPath("cli_serve_queries.txt");
+  std::string out, err;
+  ASSERT_EQ(RunMain({"generate", "--dataset", "social", "--output",
+                     data_path.c_str(), "--size", "200"},
+                    &out, &err),
+            0)
+      << err;
+  {
+    std::ofstream queries(queries_path);
+    queries << "0 199\n"        // full domain
+            << "5,9\n"          // comma form
+            << "\n"             // blank lines are skipped
+            << "0 199\n";       // repeat: served from the cache
+  }
+
+  ASSERT_EQ(RunMain({"serve", "--input", data_path.c_str(), "--queries",
+                     queries_path.c_str(), "--epsilon", "1.0", "--strategy",
+                     "htilde", "--shards", "2", "--threads", "2"},
+                    &out, &err),
+            0)
+      << err;
+  std::istringstream lines(out);
+  std::string line;
+  std::vector<std::string> rows;
+  while (std::getline(lines, line)) rows.push_back(line);
+  ASSERT_EQ(rows.size(), 4u);  // 3 answers + stats comment
+  // Identical queries get identical answers (one snapshot, one cache).
+  EXPECT_EQ(rows[0], rows[2]);
+  EXPECT_NE(rows[3].find("# served 3 queries from epoch 1"),
+            std::string::npos);
+  EXPECT_NE(rows[3].find("htilde"), std::string::npos);
+
+  std::remove(data_path.c_str());
+  std::remove(queries_path.c_str());
+}
+
+TEST(CliTest, ServeValidatesQueriesAndFlags) {
+  std::string data_path = TempPath("cli_serve_bad_data.csv");
+  std::string queries_path = TempPath("cli_serve_bad_queries.txt");
+  std::string out, err;
+  ASSERT_EQ(RunMain({"generate", "--dataset", "social", "--output",
+                     data_path.c_str(), "--size", "50"},
+                    &out, &err),
+            0);
+
+  // Unknown strategy.
+  { std::ofstream q(queries_path); q << "0 10\n"; }
+  EXPECT_EQ(RunMain({"serve", "--input", data_path.c_str(), "--queries",
+                     queries_path.c_str(), "--epsilon", "1", "--strategy",
+                     "fourier"},
+                    &out, &err),
+            1);
+  EXPECT_NE(err.find("unknown strategy"), std::string::npos);
+
+  // Out-of-bounds query line.
+  { std::ofstream q(queries_path); q << "0 10\n10 50\n"; }
+  EXPECT_EQ(RunMain({"serve", "--input", data_path.c_str(), "--queries",
+                     queries_path.c_str(), "--epsilon", "1"},
+                    &out, &err),
+            1);
+  EXPECT_NE(err.find("line 2"), std::string::npos);
+
+  // Malformed query line.
+  { std::ofstream q(queries_path); q << "7\n"; }
+  EXPECT_EQ(RunMain({"serve", "--input", data_path.c_str(), "--queries",
+                     queries_path.c_str(), "--epsilon", "1"},
+                    &out, &err),
+            1);
+  EXPECT_NE(err.find("expected \"lo hi\""), std::string::npos);
+
+  // A non-numeric first token is an error too, never silently skipped
+  // (skipping would misalign answers with input lines).
+  { std::ofstream q(queries_path); q << "xx 50\n0 10\n"; }
+  EXPECT_EQ(RunMain({"serve", "--input", data_path.c_str(), "--queries",
+                     queries_path.c_str(), "--epsilon", "1"},
+                    &out, &err),
+            1);
+  EXPECT_NE(err.find("line 1"), std::string::npos);
+
+  // Missing query file.
+  EXPECT_EQ(RunMain({"serve", "--input", data_path.c_str(), "--queries",
+                     TempPath("nope_queries.txt").c_str(), "--epsilon", "1"},
+                    &out, &err),
+            1);
+  EXPECT_NE(err.find("cannot open"), std::string::npos);
+
+  std::remove(data_path.c_str());
+  std::remove(queries_path.c_str());
+}
+
+TEST(CliTest, ServeIsDeterministicAcrossThreadCounts) {
+  std::string data_path = TempPath("cli_serve_det_data.csv");
+  std::string queries_path = TempPath("cli_serve_det_queries.txt");
+  std::string out1, out8, err;
+  ASSERT_EQ(RunMain({"generate", "--dataset", "nettrace", "--output",
+                     data_path.c_str(), "--size", "256"},
+                    &out1, &err),
+            0);
+  {
+    std::ofstream queries(queries_path);
+    for (int i = 0; i < 64; ++i) queries << i << " " << (i + 190) << "\n";
+  }
+  ASSERT_EQ(RunMain({"serve", "--input", data_path.c_str(), "--queries",
+                     queries_path.c_str(), "--epsilon", "0.5", "--seed",
+                     "11", "--threads", "1"},
+                    &out1, &err),
+            0)
+      << err;
+  ASSERT_EQ(RunMain({"serve", "--input", data_path.c_str(), "--queries",
+                     queries_path.c_str(), "--epsilon", "0.5", "--seed",
+                     "11", "--threads", "8"},
+                    &out8, &err),
+            0)
+      << err;
+  // Same seed, same snapshot, same answers — the thread count only
+  // changes the stats line (threads=...), never an answer line.
+  std::string answers1 = out1.substr(0, out1.find("# served"));
+  std::string answers8 = out8.substr(0, out8.find("# served"));
+  EXPECT_EQ(answers1, answers8);
+
+  std::remove(data_path.c_str());
+  std::remove(queries_path.c_str());
 }
 
 TEST(CliTest, MissingInputFileSurfacesIoError) {

@@ -32,6 +32,13 @@ TEST(UmbrellaTest, WholePipelineThroughSingleInclude) {
   auto analyzer = StrategyAnalyzer::Create(HierarchicalStrategy(4, 2), 1.0);
   ASSERT_TRUE(analyzer.ok());
   EXPECT_GT(analyzer.value().RangeVariance(Interval(0, 3)), 0.0);
+
+  // Serving.
+  QueryService service;
+  ASSERT_TRUE(service.Publish(data, SnapshotOptions(), 1).ok());
+  double answer = 0.0;
+  EXPECT_EQ(service.Query(Interval(0, 3), &answer), 1u);
+  EXPECT_GE(answer, 0.0);
 }
 
 }  // namespace

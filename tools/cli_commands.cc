@@ -1,8 +1,12 @@
 #include "tools/cli_commands.h"
 
+#include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "data/csv.h"
 #include "data/nettrace.h"
@@ -11,6 +15,7 @@
 #include "domain/histogram.h"
 #include "estimators/unattributed.h"
 #include "estimators/universal.h"
+#include "service/query_service.h"
 
 namespace dphist::cli {
 namespace {
@@ -24,7 +29,12 @@ constexpr char kUsage[] =
     "  release-universal --input P --output P --epsilon E [--branching K]\n"
     "                    [--no-prune] [--no-round] [--seed S]\n"
     "  release-sorted    --input P --output P --epsilon E [--seed S]\n"
-    "  query             --release P --lo X --hi Y\n";
+    "  query             --release P --lo X --hi Y\n"
+    "  serve             --input P --queries P --epsilon E\n"
+    "                    [--strategy hbar|htilde|ltilde|wavelet]\n"
+    "                    [--branching K] [--shards S] [--cache N]\n"
+    "                    [--threads T] [--seed S] [--no-round]\n"
+    "                    [--no-prune]\n";
 
 Status RequireFlag(const Flags& flags, const std::string& name) {
   if (!flags.Has(name)) {
@@ -145,7 +155,113 @@ Status RunQuery(const Flags& flags, std::ostream& out) {
   if (lo > hi || lo < 0 || hi >= release.value().size()) {
     return Status::OutOfRange("query range out of bounds");
   }
+  const std::streamsize old_precision = out.precision(15);
   out << release.value().Count(Interval(lo, hi)) << "\n";
+  out.precision(old_precision);
+  return Status::Ok();
+}
+
+Status RunServe(const Flags& flags, std::ostream& out) {
+  for (const char* required : {"input", "queries", "epsilon"}) {
+    Status s = RequireFlag(flags, required);
+    if (!s.ok()) return s;
+  }
+  auto data = LoadHistogramCsv(flags.GetString("input", ""));
+  if (!data.ok()) return data.status();
+  const std::int64_t n = data.value().size();
+
+  SnapshotOptions options;
+  options.epsilon = flags.GetDouble("epsilon", 1.0);
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  auto strategy = ParseStrategyKind(flags.GetString("strategy", "hbar"));
+  if (!strategy.ok()) return strategy.status();
+  options.strategy = strategy.value();
+  options.branching = flags.GetInt("branching", 2);
+  if (options.branching < 2) {
+    return Status::InvalidArgument("branching must be >= 2");
+  }
+  options.shards = flags.GetInt("shards", 1);
+  if (options.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  options.round_to_nonnegative_integers = !flags.GetBool("no-round", false);
+  options.prune_nonpositive_subtrees = !flags.GetBool("no-prune", false);
+
+  // Parse the workload before paying for the release.
+  std::ifstream queries_file(flags.GetString("queries", ""));
+  if (!queries_file) {
+    return Status::IoError("cannot open query file: " +
+                           flags.GetString("queries", ""));
+  }
+  std::vector<Interval> workload;
+  std::string line;
+  std::int64_t line_number = 0;
+  while (std::getline(queries_file, line)) {
+    ++line_number;
+    for (char& c : line) {
+      if (c == ',') c = ' ';
+    }
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;  // blank line
+    }
+    std::istringstream fields(line);
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    if (!(fields >> lo) || !(fields >> hi)) {
+      return Status::InvalidArgument(
+          "query line " + std::to_string(line_number) +
+          ": expected \"lo hi\"");
+    }
+    if (lo > hi || lo < 0 || hi >= n) {
+      return Status::OutOfRange("query line " + std::to_string(line_number) +
+                                ": range out of bounds");
+    }
+    workload.emplace_back(lo, hi);
+  }
+
+  QueryServiceOptions service_options;
+  service_options.cache_capacity = flags.GetInt("cache", 1 << 16);
+  QueryService service(service_options);
+  auto published =
+      service.Publish(data.value(), options,
+                      static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
+  if (!published.ok()) return published.status();
+
+  // Fan the workload out over worker threads in contiguous slices; each
+  // slice is one batch, answered against the single published snapshot
+  // and written into its own span of the shared answer vector.
+  const std::int64_t threads =
+      ResolveThreadCount(flags.GetInt("threads", 1, "DPHIST_THREADS"));
+  std::vector<double> answers(workload.size());
+  if (!workload.empty()) {
+    const std::int64_t total = static_cast<std::int64_t>(workload.size());
+    const std::int64_t slices = std::min(threads, total);
+    const std::int64_t slice_width = (total + slices - 1) / slices;
+    ParallelFor(slices, threads, [&](std::int64_t slice) {
+      const std::int64_t begin = slice * slice_width;
+      const std::int64_t end = std::min(total, begin + slice_width);
+      if (begin >= end) return;
+      service.QueryBatch(workload.data() + begin,
+                         static_cast<std::size_t>(end - begin),
+                         answers.data() + begin);
+    });
+  }
+
+  // Default ostream precision (6 significant digits) would quantize
+  // counts >= 1e6; 15 digits round-trips every integral count a double
+  // can hold exactly, without decorating small integers.
+  const std::streamsize old_precision = out.precision(15);
+  for (double answer : answers) out << answer << "\n";
+  out.precision(old_precision);
+  AnswerCache::Stats stats = service.cache_stats();
+  out << "# served " << workload.size() << " queries from epoch "
+      << published.value()->epoch() << " ("
+      << StrategyKindName(options.strategy) << ", eps=" << options.epsilon
+      << ", shards=" << published.value()->shard_count() << ", threads="
+      << threads << ", cache hits=" << stats.hits << " misses="
+      << stats.misses << ")\n";
   return Status::Ok();
 }
 
@@ -166,6 +282,8 @@ int Main(int argc, const char* const* argv, std::ostream& out,
     status = RunReleaseSorted(flags, out);
   } else if (command == "query") {
     status = RunQuery(flags, out);
+  } else if (command == "serve") {
+    status = RunServe(flags, out);
   }
   if (!status.ok()) {
     err << "error: " << status.ToString() << "\n";

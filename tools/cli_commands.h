@@ -6,6 +6,8 @@
 //   release-universal publish an epsilon-DP universal histogram (H-bar)
 //   release-sorted    publish an epsilon-DP unattributed histogram (S-bar)
 //   query             answer a range count from a published histogram
+//   serve             publish a QueryService snapshot and answer a whole
+//                     range workload concurrently (src/service/)
 
 #ifndef DPHIST_TOOLS_CLI_COMMANDS_H_
 #define DPHIST_TOOLS_CLI_COMMANDS_H_
@@ -33,6 +35,15 @@ Status RunReleaseSorted(const Flags& flags, std::ostream& out);
 /// `query --release PATH --lo X --hi Y`
 /// Sums the published per-position estimates over [lo, hi].
 Status RunQuery(const Flags& flags, std::ostream& out);
+
+/// `serve --input PATH --queries PATH --epsilon E
+///  [--strategy hbar|htilde|ltilde|wavelet] [--branching K] [--shards S]
+///  [--cache N] [--threads T] [--seed S] [--no-round] [--no-prune]`
+/// Publishes one snapshot of the input histogram, answers every "lo hi"
+/// line of the query file through the shared-cache QueryService with T
+/// worker threads, and writes one answer per line (input order) followed
+/// by a `# served ...` stats comment line.
+Status RunServe(const Flags& flags, std::ostream& out);
 
 /// Dispatches on the first positional argument; prints usage on error.
 /// Returns a process exit code.

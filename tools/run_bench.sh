@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Builds the benchmark suite in Release mode, runs bench_micro_range_query,
-# and writes BENCH_range_query.json at the repo root so the query-path
-# performance trajectory is tracked from PR to PR.
+# Builds the benchmark suite in Release mode, runs bench_micro_range_query
+# and bench_service_throughput, and writes BENCH_range_query.json and
+# BENCH_service.json at the repo root so the query-path and serving-layer
+# performance trajectories are tracked from PR to PR.
 #
-# Usage: tools/run_bench.sh [extra bench flags...]
+# Usage: tools/run_bench.sh [extra micro_range_query flags...]
 #   e.g. tools/run_bench.sh --max-log2=16 --min-time-ms=100
+# The service bench is configured through DPHIST_* env vars
+# (DPHIST_DOMAIN_LOG2, DPHIST_PHASES, DPHIST_THREADS_LIST, ...).
 
 set -euo pipefail
 
@@ -13,19 +16,30 @@ BUILD_DIR="${REPO_ROOT}/build-release"
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release \
   -DDPHIST_BUILD_BENCH=ON >/dev/null
-cmake --build "${BUILD_DIR}" --target bench_micro_range_query -j >/dev/null
+cmake --build "${BUILD_DIR}" \
+  --target bench_micro_range_query bench_service_throughput -j >/dev/null
 
 OUT="${REPO_ROOT}/BENCH_range_query.json"
 "${BUILD_DIR}/bench_micro_range_query" "$@" > "${OUT}"
 
+SERVICE_OUT="${REPO_ROOT}/BENCH_service.json"
+"${BUILD_DIR}/bench_service_throughput" > "${SERVICE_OUT}"
+
 echo "wrote ${OUT}"
+echo "wrote ${SERVICE_OUT}"
 if command -v python3 >/dev/null 2>&1; then
-  python3 - "$OUT" <<'EOF'
+  python3 - "$OUT" "$SERVICE_OUT" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     data = json.load(f)
 s = data["summary"]
 print(f"H-bar prefix path at max domain: {s['hbar_prefix_qps_at_max_domain']:.3g} q/s "
       f"({s['hbar_prefix_speedup_at_max_domain']:.1f}x over decomposition)")
+with open(sys.argv[2]) as f:
+    service = json.load(f)
+s = service["summary"]
+print(f"QueryService cached aggregate at {s['max_threads']} threads: "
+      f"{s['cached_qps_at_max_threads']:.3g} q/s "
+      f"({s['cached_speedup_max_over_min']:.1f}x over {s['min_threads']})")
 EOF
 fi
