@@ -1,0 +1,197 @@
+// Parallel Snapshot::Build benchmark, emitting JSON so
+// BENCH_snapshot_build.json tracks publish latency across PRs (see
+// tools/run_bench.sh).
+//
+// Protocol: one histogram of n = 2^domain-log2 Zipf counts is published
+// repeatedly at each thread count in --threads-list; the recorded
+// latency per thread count is the best of --repeats builds (publish
+// latency is what an online replanner pays, so the steady-state floor is
+// the relevant number). Shard RNG streams are forked in shard order
+// before the fan-out, so the release must be bit-identical at every
+// thread count — the bench verifies that on a probe workload and
+// reports it as `bit_identical` (a false value is a correctness bug,
+// not a performance result).
+//
+// The summary records build latency at 1 thread and at the maximum
+// thread count plus their ratio — the acceptance metric for parallel
+// builds (>= 3x at 8 threads on an 8-core host; on smaller hosts the
+// honestly measured ratio lands near 1x and is reported as such).
+//
+// Flags (DPHIST_* env equivalents): --domain-log2, --strategy,
+// --branching, --epsilon, --shards, --threads-list (comma separated),
+// --repeats, --seed.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "data/zipf.h"
+#include "domain/histogram.h"
+#include "service/snapshot.h"
+
+using namespace dphist;  // NOLINT(build/namespaces)
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<int> ParseThreadsList(const std::string& csv) {
+  std::vector<int> threads;
+  int value = 0;
+  bool have_digit = false;
+  for (char c : csv) {
+    if (c >= '0' && c <= '9') {
+      value = value * 10 + (c - '0');
+      have_digit = true;
+    } else {
+      if (have_digit) threads.push_back(value);
+      value = 0;
+      have_digit = false;
+    }
+  }
+  if (have_digit) threads.push_back(value);
+  DPHIST_CHECK_MSG(!threads.empty(), "empty --threads-list");
+  return threads;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const std::int64_t domain_log2 =
+      flags.GetInt("domain-log2", 20, "DPHIST_DOMAIN_LOG2");
+  const std::int64_t n = std::int64_t{1} << domain_log2;
+  const std::string strategy_name =
+      flags.GetString("strategy", "hbar", "DPHIST_STRATEGY");
+  const std::int64_t branching =
+      flags.GetInt("branching", 2, "DPHIST_BRANCHING");
+  const double epsilon = flags.GetDouble("epsilon", 0.1, "DPHIST_EPSILON");
+  const std::int64_t shards = flags.GetInt("shards", 64, "DPHIST_SHARDS");
+  const std::vector<int> thread_counts = ParseThreadsList(
+      flags.GetString("threads-list", "1,2,4,8", "DPHIST_THREADS_LIST"));
+  const std::int64_t repeats = flags.GetInt("repeats", 3, "DPHIST_REPEATS");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+
+  auto strategy = ParseStrategyKind(strategy_name);
+  DPHIST_CHECK_MSG(strategy.ok(), "bad --strategy");
+  DPHIST_CHECK_MSG(strategy.value() != StrategyKind::kAuto,
+                   "bench needs a concrete --strategy");
+
+  Rng data_rng(seed);
+  Histogram data =
+      Histogram::FromCounts(ZipfCounts(n, 1.1, 5 * n, &data_rng));
+
+  SnapshotOptions options;
+  options.epsilon = epsilon;
+  options.strategy = strategy.value();
+  options.branching = branching;
+  options.shards = shards;
+
+  // Probe workload for the bit-identity check.
+  Rng probe_rng(13);
+  std::vector<Interval> probes;
+  probes.reserve(256);
+  for (int i = 0; i < 256; ++i) {
+    std::int64_t lo = probe_rng.NextInt(0, n - 1);
+    probes.emplace_back(lo, probe_rng.NextInt(lo, n - 1));
+  }
+
+  struct Row {
+    int threads;
+    double best_seconds;
+  };
+  std::vector<Row> rows;
+  std::vector<double> reference_answers;
+  bool bit_identical = true;
+  for (int threads : thread_counts) {
+    options.build_threads = threads;
+    double best = 0.0;
+    std::shared_ptr<const Snapshot> last;
+    for (std::int64_t r = 0; r < repeats; ++r) {
+      Rng rng(seed + 1);  // same stream every build: identical releases
+      const double start = NowSeconds();
+      auto built = Snapshot::Build(data, options, /*epoch=*/1, &rng);
+      const double elapsed = NowSeconds() - start;
+      DPHIST_CHECK_MSG(built.ok(), "build failed");
+      last = built.value();
+      if (r == 0 || elapsed < best) best = elapsed;
+    }
+    std::vector<double> answers(probes.size());
+    last->RangeCountsInto(probes.data(), probes.size(), answers.data());
+    if (reference_answers.empty()) {
+      reference_answers = answers;
+    } else if (answers != reference_answers) {
+      bit_identical = false;  // determinism regression: report, don't hide
+    }
+    rows.push_back({threads, best});
+    std::fprintf(stderr, "%d thread(s): %.3f s/build\n", threads, best);
+  }
+
+  // Speedup baseline: the smallest thread count actually run (1 with
+  // the default list), so a custom --threads-list can never yield a
+  // silently-zero acceptance metric.
+  double seconds_at_min = 0.0;
+  double seconds_at_max = 0.0;
+  int min_threads = 0;
+  int max_threads = 0;
+  for (const Row& row : rows) {
+    if (min_threads == 0 || row.threads < min_threads) {
+      min_threads = row.threads;
+      seconds_at_min = row.best_seconds;
+    }
+    if (row.threads >= max_threads) {
+      max_threads = row.threads;
+      seconds_at_max = row.best_seconds;
+    }
+  }
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"snapshot_build\",\n");
+  std::printf("  \"build\": \"%s\",\n",
+#ifdef NDEBUG
+              "Release"
+#else
+              "Debug"
+#endif
+  );
+  std::printf("  \"domain_log2\": %lld,\n",
+              static_cast<long long>(domain_log2));
+  std::printf("  \"strategy\": \"%s\",\n",
+              StrategyKindName(strategy.value()));
+  std::printf("  \"branching\": %lld,\n", static_cast<long long>(branching));
+  std::printf("  \"epsilon\": %g,\n", epsilon);
+  std::printf("  \"shards\": %lld,\n", static_cast<long long>(shards));
+  std::printf("  \"repeats\": %lld,\n", static_cast<long long>(repeats));
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"bit_identical\": %s,\n", bit_identical ? "true" : "false");
+  std::printf("  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::printf(
+        "    {\"threads\": %d, \"build_seconds\": %.6g}%s\n",
+        rows[i].threads, rows[i].best_seconds,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"summary\": {\n");
+  std::printf("    \"min_threads\": %d,\n", min_threads);
+  std::printf("    \"max_threads\": %d,\n", max_threads);
+  std::printf("    \"build_seconds_min_threads\": %.6g,\n", seconds_at_min);
+  std::printf("    \"build_seconds_max_threads\": %.6g,\n", seconds_at_max);
+  std::printf("    \"speedup_max_over_min\": %.3f\n",
+              seconds_at_max > 0.0 ? seconds_at_min / seconds_at_max : 0.0);
+  std::printf("  }\n");
+  std::printf("}\n");
+  return 0;
+}

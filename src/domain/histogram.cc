@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <utility>
 
 #include "common/check.h"
 
@@ -27,6 +28,46 @@ Histogram Histogram::FromCounts(const std::vector<std::int64_t>& counts,
   return Histogram(std::move(values), std::move(attribute));
 }
 
+Histogram::Histogram(const Histogram& other) : domain_(other.domain_) {
+  // Copying from a const& is a const access, so it must be safe against
+  // a concurrent EnsurePrefix rebuild in `other`: take its mutex while
+  // reading the prefix state.
+  std::lock_guard<std::mutex> lock(other.prefix_mutex_);
+  counts_ = other.counts_;
+  prefix_ = other.prefix_;
+  prefix_valid_.store(other.prefix_valid_.load(std::memory_order_acquire),
+                      std::memory_order_release);
+}
+
+Histogram::Histogram(Histogram&& other) noexcept
+    : domain_(std::move(other.domain_)),
+      counts_(std::move(other.counts_)),
+      prefix_(std::move(other.prefix_)),
+      prefix_valid_(other.prefix_valid_.load(std::memory_order_acquire)) {}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this == &other) return *this;
+  domain_ = other.domain_;
+  {
+    std::lock_guard<std::mutex> lock(other.prefix_mutex_);
+    counts_ = other.counts_;
+    prefix_ = other.prefix_;
+    prefix_valid_.store(other.prefix_valid_.load(std::memory_order_acquire),
+                        std::memory_order_release);
+  }
+  return *this;
+}
+
+Histogram& Histogram::operator=(Histogram&& other) noexcept {
+  if (this == &other) return *this;
+  domain_ = std::move(other.domain_);
+  counts_ = std::move(other.counts_);
+  prefix_ = std::move(other.prefix_);
+  prefix_valid_.store(other.prefix_valid_.load(std::memory_order_acquire),
+                      std::memory_order_release);
+  return *this;
+}
+
 double Histogram::At(std::int64_t position) const {
   DPHIST_CHECK(position >= 0 && position < size());
   return counts_[static_cast<std::size_t>(position)];
@@ -35,22 +76,30 @@ double Histogram::At(std::int64_t position) const {
 void Histogram::Set(std::int64_t position, double count) {
   DPHIST_CHECK(position >= 0 && position < size());
   counts_[static_cast<std::size_t>(position)] = count;
-  prefix_valid_ = false;
+  prefix_valid_.store(false, std::memory_order_release);
 }
 
 void Histogram::Increment(std::int64_t position, double delta) {
   DPHIST_CHECK(position >= 0 && position < size());
   counts_[static_cast<std::size_t>(position)] += delta;
-  prefix_valid_ = false;
+  prefix_valid_.store(false, std::memory_order_release);
 }
 
-void Histogram::EnsurePrefix() const {
-  if (prefix_valid_) return;
+void Histogram::BuildPrefix() const {
   prefix_.assign(counts_.size() + 1, 0.0);
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     prefix_[i + 1] = prefix_[i] + counts_[i];
   }
-  prefix_valid_ = true;
+  prefix_valid_.store(true, std::memory_order_release);
+}
+
+void Histogram::EnsurePrefix() const {
+  if (prefix_valid_.load(std::memory_order_acquire)) return;
+  // Only reachable after a mutation; double-checked so concurrent first
+  // reads after a (single-threaded) mutation phase rebuild exactly once.
+  std::lock_guard<std::mutex> lock(prefix_mutex_);
+  if (prefix_valid_.load(std::memory_order_relaxed)) return;
+  BuildPrefix();
 }
 
 double Histogram::Count(const Interval& range) const {

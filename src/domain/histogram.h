@@ -10,7 +10,9 @@
 #ifndef DPHIST_DOMAIN_HISTOGRAM_H_
 #define DPHIST_DOMAIN_HISTOGRAM_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "domain/domain.h"
@@ -21,12 +23,15 @@ namespace dphist {
 /// Counts over an ordered domain, with O(1) range sums after the first
 /// range query (lazy prefix table, invalidated on mutation).
 ///
-/// Thread safety: const accessors are safe to share across threads
-/// EXCEPT that the *first* Count()/Total() call materializes the prefix
-/// table under the hood — concurrent first use is a data race. Callers
-/// that share a Histogram across workers must either issue one range
-/// query before fanning out or avoid Count() in the workers (the
-/// experiment runners build their own truth prefix for this reason).
+/// Thread safety: all const accessors are safe to call concurrently from
+/// any number of threads, with no caller-side ceremony — including the
+/// *first* Count()/Total() call, which materializes the prefix table
+/// under an internal mutex with double-checked locking (as does the
+/// first call after a mutation). Laziness is kept deliberately:
+/// histograms on the publish hot path (per-shard slices inside
+/// Snapshot::Build) are consumed through counts() and never pay for a
+/// prefix pass. Mutating concurrently with reads is still undefined, as
+/// for any container.
 class Histogram {
  public:
   /// A zero histogram over `domain`.
@@ -39,6 +44,14 @@ class Histogram {
   /// Builds from integer counts.
   static Histogram FromCounts(const std::vector<std::int64_t>& counts,
                               std::string attribute = "value");
+
+  // The internal prefix mutex is not copyable/movable, so the special
+  // members are spelled out; they copy/move the data and the cached
+  // prefix state but give each instance its own mutex.
+  Histogram(const Histogram& other);
+  Histogram(Histogram&& other) noexcept;
+  Histogram& operator=(const Histogram& other);
+  Histogram& operator=(Histogram&& other) noexcept;
 
   /// The domain.
   const Domain& domain() const { return domain_; }
@@ -76,11 +89,13 @@ class Histogram {
 
  private:
   void EnsurePrefix() const;
+  void BuildPrefix() const;
 
   Domain domain_;
   std::vector<double> counts_;
   mutable std::vector<double> prefix_;  // prefix_[i] = sum of counts[0..i)
-  mutable bool prefix_valid_ = false;
+  mutable std::atomic<bool> prefix_valid_{false};
+  mutable std::mutex prefix_mutex_;
 };
 
 }  // namespace dphist

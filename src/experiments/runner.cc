@@ -93,17 +93,10 @@ std::vector<UniversalCell> RunUniversalExperiment(
       static_cast<std::size_t>(config.ranges_per_size);
   constexpr std::size_t kNumEstimators = 3;  // L~, H~, H-bar
 
-  // Workers never touch Histogram's lazily materialized prefix table
-  // (first use under a const method is not safe to race): true range
-  // counts come from this runner-owned prefix array instead. Histogram
-  // counts are integral, so these prefix sums are exact in doubles (well
-  // below 2^53) and agree with data.Count() regardless of summation
-  // order. The (trial-invariant) true tree counts are likewise evaluated
-  // once instead of once per trial.
-  std::vector<double> true_prefix(data.counts().size() + 1, 0.0);
-  for (std::size_t i = 0; i < data.counts().size(); ++i) {
-    true_prefix[i + 1] = true_prefix[i] + data.counts()[i];
-  }
+  // Histogram's const accessors are thread-safe (eager prefix table), so
+  // workers take true range counts straight from data.Count(). The
+  // (trial-invariant) true tree counts are evaluated once instead of
+  // once per trial.
   const HierarchicalQuery h_query(domain_size, config.branching);
   const std::vector<double> true_nodes = h_query.Evaluate(data);
 
@@ -153,9 +146,7 @@ std::vector<UniversalCell> RunUniversalExperiment(
           h_bar.RangeCountsInto(ranges.data(), ranges.size(),
                                 answers_hb.data());
           for (std::size_t q = 0; q < ranges.size(); ++q) {
-            const double truth =
-                true_prefix[static_cast<std::size_t>(ranges[q].hi()) + 1] -
-                true_prefix[static_cast<std::size_t>(ranges[q].lo())];
+            const double truth = data.Count(ranges[q]);
             const double dl = answers_l[q] - truth;
             const double dht = answers_ht[q] - truth;
             const double dhb = answers_hb[q] - truth;

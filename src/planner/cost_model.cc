@@ -1,0 +1,87 @@
+#include "planner/cost_model.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+#include "planner/variance_oracle.h"
+
+namespace dphist::planner {
+
+CostModel::CostModel(std::int64_t domain_size, const Options& options)
+    : domain_size_(domain_size), options_(options) {
+  DPHIST_CHECK_MSG(domain_size_ >= 1, "domain must be non-empty");
+  DPHIST_CHECK_MSG(options_.max_analyzer_width >= 1,
+                   "max_analyzer_width must be >= 1");
+  DPHIST_CHECK_MSG(options_.placements_per_length >= 1,
+                   "placements_per_length must be >= 1");
+}
+
+Result<QueryCost> CostModel::Evaluate(const SnapshotOptions& config,
+                                      const WorkloadProfile& profile) const {
+  if (config.strategy == StrategyKind::kAuto) {
+    return Status::InvalidArgument(
+        "kAuto is a request to plan, not a configuration to cost");
+  }
+  if (profile.domain_size() != domain_size_) {
+    return Status::InvalidArgument("profile domain does not match");
+  }
+  if (profile.empty()) {
+    return Status::InvalidArgument("cannot cost an empty workload profile");
+  }
+  if (config.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (config.branching < 2) {
+    return Status::InvalidArgument("branching must be >= 2");
+  }
+  if (config.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+
+  if (config.strategy == StrategyKind::kHBar ||
+      config.strategy == StrategyKind::kWavelet) {
+    // MaxAnalyzerWidth is exactly what the oracle's Gram factorization
+    // will be asked to handle (wavelet shards pad to a power of two).
+    const std::int64_t analyzer_width =
+        MaxAnalyzerWidth(config, domain_size_);
+    if (analyzer_width > options_.max_analyzer_width) {
+      return Status::OutOfRange(
+          "closed form infeasible: shard width " +
+          std::to_string(analyzer_width) + " exceeds analyzer cap " +
+          std::to_string(options_.max_analyzer_width));
+    }
+  }
+
+  // The oracle requires the linear protocol; rounding/pruning only ever
+  // shrink error (Section 5.2), so the linear cost ranks configurations
+  // as a monotone proxy either way.
+  SnapshotOptions linear = config;
+  linear.round_to_nonnegative_integers = false;
+  linear.prune_nonpositive_subtrees = false;
+  VarianceOracle oracle(linear, domain_size_);
+
+  QueryCost cost;
+  double weighted_sum = 0.0;
+  for (const auto& [length, weight] : profile.length_weights()) {
+    // Evenly spaced placements, always including both extremes when more
+    // than one fits; deterministic so plans are reproducible.
+    const std::int64_t max_lo = domain_size_ - length;
+    const std::int64_t placements =
+        std::min(options_.placements_per_length, max_lo + 1);
+    double sum = 0.0;
+    for (std::int64_t p = 0; p < placements; ++p) {
+      const std::int64_t lo =
+          placements == 1 ? 0 : (p * max_lo) / (placements - 1);
+      const double variance =
+          oracle.RangeVariance(Interval(lo, lo + length - 1));
+      sum += variance;
+      cost.worst_variance = std::max(cost.worst_variance, variance);
+    }
+    weighted_sum += weight * (sum / static_cast<double>(placements));
+  }
+  cost.mean_variance = weighted_sum / profile.total_weight();
+  return cost;
+}
+
+}  // namespace dphist::planner

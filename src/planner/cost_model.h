@@ -1,0 +1,75 @@
+// CostModel: expected per-query error of a (strategy, shards)
+// configuration against a workload profile.
+//
+// For every configuration the serving layer can publish, the closed-form
+// oracle (planner/variance_oracle.h) gives the exact per-query variance
+// of the *linear* protocol. The cost model folds that over a
+// WorkloadProfile: for each observed query length it averages the
+// variance over a deterministic set of placements (variance depends on
+// where a range falls relative to shard and subtree boundaries, not just
+// on its length), then weights by how often the length occurs. The
+// result is the expected squared error per query — the quantity the
+// planner minimizes.
+//
+// Rounding/pruning (Section 5.2) are nonlinear and only ever reduce
+// error, so configurations are ranked by their linear closed forms even
+// when the published release will round: the ranking is used as a
+// monotone proxy. H-bar and wavelet costs require factorizing an
+// O(width^2) strategy Gram matrix; candidates whose shard width exceeds
+// `max_analyzer_width` are reported infeasible rather than stalling the
+// planner (shard more, or raise the cap).
+
+#ifndef DPHIST_PLANNER_COST_MODEL_H_
+#define DPHIST_PLANNER_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "planner/workload_profile.h"
+#include "service/snapshot.h"
+
+namespace dphist::planner {
+
+/// Workload-weighted error summary of one configuration.
+struct QueryCost {
+  /// Profile-weighted mean per-query variance (the planner's default
+  /// objective).
+  double mean_variance = 0.0;
+  /// Largest per-query variance over every evaluated (length, placement)
+  /// — a worst-case objective for latency-of-error-sensitive callers.
+  double worst_variance = 0.0;
+};
+
+/// Evaluates configurations against profiles over one domain.
+class CostModel {
+ public:
+  struct Options {
+    /// H-bar/wavelet closed forms need an O(width^3) Cholesky of the
+    /// per-shard strategy Gram matrix; wider shards are infeasible.
+    std::int64_t max_analyzer_width = 1024;
+    /// Placements sampled per query length (deterministic, evenly
+    /// spaced); variance is averaged over them.
+    std::int64_t placements_per_length = 8;
+  };
+
+  explicit CostModel(std::int64_t domain_size)
+      : CostModel(domain_size, Options()) {}
+  CostModel(std::int64_t domain_size, const Options& options);
+
+  /// Expected per-query variance of `config` under `profile`. Fails on
+  /// kAuto (nothing to evaluate), an empty profile, a profile for a
+  /// different domain, or an infeasible analyzer width.
+  Result<QueryCost> Evaluate(const SnapshotOptions& config,
+                             const WorkloadProfile& profile) const;
+
+  std::int64_t domain_size() const { return domain_size_; }
+  const Options& options() const { return options_; }
+
+ private:
+  std::int64_t domain_size_;
+  Options options_;
+};
+
+}  // namespace dphist::planner
+
+#endif  // DPHIST_PLANNER_COST_MODEL_H_

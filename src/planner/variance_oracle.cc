@@ -1,4 +1,4 @@
-#include "tests/support/variance_oracle.h"
+#include "planner/variance_oracle.h"
 
 #include <algorithm>
 #include <cmath>
@@ -8,7 +8,7 @@
 #include "tree/range_decomposition.h"
 #include "tree/tree_layout.h"
 
-namespace dphist::test_support {
+namespace dphist::planner {
 namespace {
 
 std::int64_t NextPowerOfTwo(std::int64_t n) {
@@ -23,6 +23,9 @@ VarianceOracle::VarianceOracle(const SnapshotOptions& options,
                                std::int64_t domain_size)
     : options_(options), domain_size_(domain_size) {
   DPHIST_CHECK_MSG(domain_size_ >= 1, "domain must be non-empty");
+  DPHIST_CHECK_MSG(options_.strategy != StrategyKind::kAuto,
+                   "kAuto must be resolved by the planner before the "
+                   "closed form can be evaluated");
   DPHIST_CHECK_MSG(!options_.round_to_nonnegative_integers &&
                        !options_.prune_nonpositive_subtrees,
                    "closed forms hold only for the linear protocol "
@@ -72,6 +75,8 @@ double VarianceOracle::ShardVariance(std::int64_t width,
       // Theorem 3 inference and Haar reconstruction are both exactly the
       // OLS estimate under their strategy matrix.
       return AnalyzerFor(width).RangeVariance(local);
+    case StrategyKind::kAuto:
+      break;  // rejected at construction
   }
   DPHIST_CHECK_MSG(false, "unreachable: unknown StrategyKind");
   return 0.0;
@@ -96,9 +101,19 @@ const StrategyAnalyzer& VarianceOracle::AnalyzerFor(
   return *it->second;
 }
 
+std::int64_t MaxAnalyzerWidth(const SnapshotOptions& options,
+                              std::int64_t domain_size) {
+  DPHIST_CHECK_MSG(domain_size >= 1, "domain must be non-empty");
+  DPHIST_CHECK_MSG(options.shards >= 1, "shards must be >= 1");
+  const std::int64_t requested = std::min(options.shards, domain_size);
+  const std::int64_t width = (domain_size + requested - 1) / requested;
+  return options.strategy == StrategyKind::kWavelet ? NextPowerOfTwo(width)
+                                                    : width;
+}
+
 double SquaredErrorRelativeBound(std::int64_t trials, double z_score) {
   DPHIST_CHECK_MSG(trials >= 1, "trials must be >= 1");
   return z_score * std::sqrt(5.0 / static_cast<double>(trials));
 }
 
-}  // namespace dphist::test_support
+}  // namespace dphist::planner

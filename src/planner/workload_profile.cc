@@ -1,0 +1,82 @@
+#include "planner/workload_profile.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dphist::planner {
+
+WorkloadProfile::WorkloadProfile(std::int64_t domain_size)
+    : domain_size_(domain_size) {
+  DPHIST_CHECK_MSG(domain_size_ >= 1, "domain must be non-empty");
+}
+
+void WorkloadProfile::AddQuery(const Interval& query) {
+  DPHIST_CHECK_MSG(query.lo() >= 0 && query.hi() < domain_size_,
+                   "query outside the profile's domain");
+  AddLength(query.Length());
+}
+
+void WorkloadProfile::AddLength(std::int64_t length, double weight) {
+  DPHIST_CHECK_MSG(length >= 1 && length <= domain_size_,
+                   "length outside [1, domain_size]");
+  DPHIST_CHECK_MSG(weight > 0.0, "weight must be positive");
+  lengths_[length] += weight;
+  total_weight_ += weight;
+}
+
+WorkloadProfile WorkloadProfile::GeometricSweep(std::int64_t domain_size) {
+  WorkloadProfile profile(domain_size);
+  for (std::int64_t length = 1; length < domain_size; length *= 2) {
+    profile.AddLength(length);
+  }
+  profile.AddLength(domain_size);
+  return profile;
+}
+
+Result<WorkloadProfile> WorkloadProfile::FromQueryFile(
+    const std::string& path, std::int64_t domain_size) {
+  Result<std::vector<Interval>> workload =
+      LoadWorkloadFile(path, domain_size);
+  if (!workload.ok()) return workload.status();
+  WorkloadProfile profile(domain_size);
+  for (const Interval& query : workload.value()) profile.AddQuery(query);
+  return profile;
+}
+
+Result<std::vector<Interval>> LoadWorkloadFile(const std::string& path,
+                                               std::int64_t domain_size) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open query file: " + path);
+  }
+  std::vector<Interval> workload;
+  std::string line;
+  std::int64_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    for (char& c : line) {
+      if (c == ',') c = ' ';
+    }
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;  // blank line
+    }
+    std::istringstream fields(line);
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    if (!(fields >> lo) || !(fields >> hi)) {
+      return Status::InvalidArgument(
+          "query line " + std::to_string(line_number) +
+          ": expected \"lo hi\"");
+    }
+    if (lo > hi || lo < 0 || hi >= domain_size) {
+      return Status::OutOfRange("query line " + std::to_string(line_number) +
+                                ": range out of bounds");
+    }
+    workload.emplace_back(lo, hi);
+  }
+  return workload;
+}
+
+}  // namespace dphist::planner

@@ -1,0 +1,74 @@
+// WorkloadProfile: what the traffic looks like, as a weighted histogram
+// of query lengths.
+//
+// Hay et al.'s central empirical result (Sections 4 and 7) is that no
+// single release strategy dominates: unit counts favor L~, long ranges
+// favor the constrained hierarchy, and sharding shifts the crossover.
+// Choosing well therefore requires knowing the workload. A
+// WorkloadProfile is the minimal sufficient summary the cost model
+// needs: how often each query *length* occurs. (Within a length the
+// cost model averages over placements, so positions need not be kept.)
+//
+// Profiles come from three places:
+//   - a workload file ("lo hi" lines, the serve/plan CLI format),
+//   - observed QueryService traffic (log2-bucketed, lock-free counters),
+//   - an explicit prior (AddLength) when neither exists yet.
+
+#ifndef DPHIST_PLANNER_WORKLOAD_PROFILE_H_
+#define DPHIST_PLANNER_WORKLOAD_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "domain/interval.h"
+
+namespace dphist::planner {
+
+/// Weighted histogram of query lengths over a fixed domain.
+class WorkloadProfile {
+ public:
+  explicit WorkloadProfile(std::int64_t domain_size);
+
+  /// Records one observed query (weight 1).
+  void AddQuery(const Interval& query);
+
+  /// Records `weight` queries of the given length. Checked:
+  /// 1 <= length <= domain_size, weight > 0.
+  void AddLength(std::int64_t length, double weight = 1.0);
+
+  /// A neutral prior when nothing has been observed: one unit of weight
+  /// at every power-of-two length up to the domain (1, 2, 4, ..., n).
+  static WorkloadProfile GeometricSweep(std::int64_t domain_size);
+
+  /// Profile of a whole workload file (one "lo hi" query per line).
+  static Result<WorkloadProfile> FromQueryFile(const std::string& path,
+                                               std::int64_t domain_size);
+
+  std::int64_t domain_size() const { return domain_size_; }
+  double total_weight() const { return total_weight_; }
+  bool empty() const { return lengths_.empty(); }
+
+  /// Weight per distinct length, ascending by length.
+  const std::map<std::int64_t, double>& length_weights() const {
+    return lengths_;
+  }
+
+ private:
+  std::int64_t domain_size_;
+  double total_weight_ = 0.0;
+  std::map<std::int64_t, double> lengths_;
+};
+
+/// Parses a range workload file: one query per line, "lo hi" (comma or
+/// whitespace separated), blank lines skipped. Every range must lie in
+/// [0, domain_size); errors carry the offending line number. This is the
+/// format `dphist serve --queries` and `dphist plan --queries` consume.
+Result<std::vector<Interval>> LoadWorkloadFile(const std::string& path,
+                                               std::int64_t domain_size);
+
+}  // namespace dphist::planner
+
+#endif  // DPHIST_PLANNER_WORKLOAD_PROFILE_H_

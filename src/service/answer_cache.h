@@ -51,6 +51,29 @@ class AnswerCache {
   /// key's lock shard when that shard is full.
   void Insert(std::uint64_t epoch, const Interval& range, double answer);
 
+  /// Batched Lookup: fills out[i] and sets hit[i] for every cached
+  /// ranges[i]. Keys are grouped by lock shard first, so each shard's
+  /// mutex is acquired at most once per internal chunk of the batch
+  /// instead of once per query — the lock-amortization QueryBatch relies
+  /// on. No heap allocation.
+  void LookupMany(std::uint64_t epoch, const Interval* ranges,
+                  std::size_t count, double* out, bool* hit);
+
+  /// Batched Insert of every entry whose skip[i] is false (pass nullptr
+  /// to insert all), with the same per-shard lock batching. Typically
+  /// called with LookupMany's hit array as `skip` so only the misses
+  /// just computed are inserted.
+  void InsertMany(std::uint64_t epoch, const Interval* ranges,
+                  const double* answers, std::size_t count,
+                  const bool* skip);
+
+  /// Drops every entry from an epoch older than `epoch`, freeing their
+  /// capacity immediately instead of waiting for LRU aging; returns the
+  /// number dropped (also counted in stats().epoch_evictions). The
+  /// QueryService calls this on every snapshot swap, so entries from a
+  /// replaced release are never reachable afterwards.
+  std::int64_t EvictOlderEpochs(std::uint64_t epoch);
+
   /// Drops every entry (stats are kept).
   void Clear();
 
@@ -65,7 +88,8 @@ class AnswerCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
-    std::uint64_t evictions = 0;
+    std::uint64_t evictions = 0;        // LRU capacity evictions
+    std::uint64_t epoch_evictions = 0;  // proactive EvictOlderEpochs drops
   };
   Stats stats() const;
 
@@ -94,6 +118,9 @@ class AnswerCache {
 
   Shard& ShardFor(const Key& key);
 
+  /// Queries per stack-allocated batching chunk in LookupMany/InsertMany.
+  static constexpr std::size_t kBatchChunk = 64;
+
   std::int64_t capacity_;
   std::int64_t per_shard_capacity_;
   std::size_t shard_mask_;
@@ -102,6 +129,7 @@ class AnswerCache {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> insertions_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> epoch_evictions_{0};
 };
 
 }  // namespace dphist

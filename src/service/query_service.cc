@@ -1,5 +1,9 @@
 #include "service/query_service.h"
 
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
@@ -8,11 +12,28 @@
 namespace dphist {
 
 QueryService::QueryService(const QueryServiceOptions& options)
-    : cache_(options.cache_capacity, options.cache_lock_shards) {}
+    : cache_(options.cache_capacity, options.cache_lock_shards),
+      planner_options_(options.planner) {}
 
 Result<std::shared_ptr<const Snapshot>> QueryService::Publish(
     const Histogram& data, const SnapshotOptions& options,
-    std::uint64_t seed) {
+    std::uint64_t seed, const planner::WorkloadProfile* workload) {
+  SnapshotOptions resolved = options;
+  if (options.strategy == StrategyKind::kAuto) {
+    // Plan against the best available picture of the traffic: an
+    // explicit profile beats observation, observation beats the neutral
+    // prior. Planning happens before the publish lock — it reads no
+    // service state that a concurrent publisher could change.
+    planner::WorkloadProfile profile =
+        workload != nullptr ? *workload : ObservedWorkload(data.size());
+    if (profile.empty()) {
+      profile = planner::WorkloadProfile::GeometricSweep(data.size());
+    }
+    Result<SnapshotOptions> planned =
+        planner::ResolveAutoStrategy(resolved, profile, planner_options_);
+    if (!planned.ok()) return planned.status();
+    resolved = planned.value();
+  }
   // Serializing publishers keeps epoch order equal to publish order; the
   // expensive Build happens inside this writer-only lock, which readers
   // never touch.
@@ -20,10 +41,16 @@ Result<std::shared_ptr<const Snapshot>> QueryService::Publish(
   const std::uint64_t epoch = last_epoch_ + 1;
   Rng rng(seed);
   Result<std::shared_ptr<const Snapshot>> built =
-      Snapshot::Build(data, options, epoch, &rng);
+      Snapshot::Build(data, resolved, epoch, &rng);
   if (!built.ok()) return built;
   last_epoch_ = epoch;
   snapshot_.store(built.value(), std::memory_order_release);
+  // Entries keyed by older epochs can never be served again (readers
+  // that loaded the old snapshot before the swap still look up under the
+  // old epoch, and a concurrent re-insert of such an entry is dropped at
+  // the next swap); purge them now instead of letting them squat on LRU
+  // capacity until they age out.
+  cache_.EvictOlderEpochs(epoch);
   return built;
 }
 
@@ -32,21 +59,61 @@ std::uint64_t QueryService::QueryBatch(const Interval* ranges,
   std::shared_ptr<const Snapshot> snap =
       snapshot_.load(std::memory_order_acquire);
   DPHIST_CHECK_MSG(snap != nullptr, "QueryBatch before the first Publish");
+  // Feed the observed-workload histogram the planner consumes: one
+  // relaxed increment per query, on this thread's counter stripe — no
+  // locks, no heap, and no hot cache line shared across readers.
+  auto& stripe =
+      observed_lengths_[std::hash<std::thread::id>{}(
+                            std::this_thread::get_id()) %
+                        kLengthStripes];
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto length = static_cast<std::uint64_t>(ranges[i].Length());
+    stripe[static_cast<std::size_t>(std::bit_width(length)) - 1].fetch_add(
+        1, std::memory_order_relaxed);
+  }
   if (!cache_.enabled()) {
     snap->RangeCountsInto(ranges, count, out);
     return snap->epoch();
   }
   const std::uint64_t epoch = snap->epoch();
-  for (std::size_t i = 0; i < count; ++i) {
-    if (cache_.Lookup(epoch, ranges[i], &out[i])) continue;
-    out[i] = snap->RangeCount(ranges[i]);
-    cache_.Insert(epoch, ranges[i], out[i]);
+  constexpr std::size_t kChunk = 64;
+  for (std::size_t base = 0; base < count; base += kChunk) {
+    const std::size_t chunk = std::min(kChunk, count - base);
+    bool hit[kChunk];
+    cache_.LookupMany(epoch, ranges + base, chunk, out + base, hit);
+    bool missed = false;
+    for (std::size_t i = 0; i < chunk; ++i) {
+      if (hit[i]) continue;
+      out[base + i] = snap->RangeCount(ranges[base + i]);
+      missed = true;
+    }
+    if (missed) {
+      cache_.InsertMany(epoch, ranges + base, out + base, chunk, hit);
+    }
   }
   return epoch;
 }
 
 std::uint64_t QueryService::Query(const Interval& range, double* out) const {
   return QueryBatch(&range, 1, out);
+}
+
+planner::WorkloadProfile QueryService::ObservedWorkload(
+    std::int64_t domain_size) const {
+  planner::WorkloadProfile profile(domain_size);
+  for (std::size_t b = 0; b < kLengthBuckets; ++b) {
+    std::uint64_t seen = 0;
+    for (std::size_t s = 0; s < kLengthStripes; ++s) {
+      seen += observed_lengths_[s][b].load(std::memory_order_relaxed);
+    }
+    if (seen == 0) continue;
+    // Midpoint of the bucket [2^b, 2^(b+1) - 1], clamped to the domain.
+    const std::int64_t lo = std::int64_t{1} << b;
+    const std::int64_t representative =
+        std::min(domain_size, (3 * lo - 1) / 2);
+    profile.AddLength(representative, static_cast<double>(seen));
+  }
+  return profile;
 }
 
 std::uint64_t QueryService::current_epoch() const {

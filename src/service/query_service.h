@@ -11,7 +11,18 @@
 //     its start, so its answers are internally consistent — one epoch,
 //     one release — even when a swap lands mid-batch;
 //   - cache keys include the epoch, so answers computed under different
-//     releases can never be served for one another.
+//     releases can never be served for one another — and a swap
+//     additionally purges every entry from older epochs up front
+//     (AnswerCache::EvictOlderEpochs) so dead entries never squat on
+//     capacity.
+//
+// Publishing with SnapshotOptions{strategy = kAuto} invokes the
+// cost-based planner (src/planner/planner.h): the service keeps a
+// lock-free log2-bucketed histogram of every query length it has
+// answered, and the planner picks the variance-minimizing
+// (strategy, shard count) for that observed workload — or for an
+// explicitly supplied WorkloadProfile, or for a neutral geometric sweep
+// when nothing has been observed yet.
 //
 // Lifetime: readers hold a shared_ptr to the snapshot for the duration
 // of a batch; a replaced snapshot is destroyed when its last in-flight
@@ -20,6 +31,7 @@
 #ifndef DPHIST_SERVICE_QUERY_SERVICE_H_
 #define DPHIST_SERVICE_QUERY_SERVICE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -28,6 +40,8 @@
 #include "common/status.h"
 #include "domain/histogram.h"
 #include "domain/interval.h"
+#include "planner/planner.h"
+#include "planner/workload_profile.h"
 #include "service/answer_cache.h"
 #include "service/snapshot.h"
 
@@ -40,6 +54,8 @@ struct QueryServiceOptions {
   std::int64_t cache_capacity = 0;
   /// Lock shards of the answer cache (rounded up to a power of two).
   std::int64_t cache_lock_shards = 16;
+  /// Candidate enumeration used when a publish must resolve kAuto.
+  planner::PlannerOptions planner;
 };
 
 /// Concurrent range-count server over atomically swappable snapshots.
@@ -51,13 +67,20 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Builds a release from `data` and atomically swaps it in as the
-  /// current snapshot with a fresh monotonically increasing epoch.
+  /// current snapshot with a fresh monotonically increasing epoch,
+  /// then proactively purges cache entries from older epochs.
   /// Building happens outside the swap, so concurrent readers keep
   /// answering from the previous snapshot until the new one is ready.
   /// Concurrent publishers are serialized; readers are never blocked.
+  ///
+  /// options.strategy == kAuto is resolved by the cost-based planner
+  /// against `workload` when given, else against the observed traffic
+  /// profile, else against a neutral geometric length sweep. The
+  /// resolved choice is readable from the returned snapshot's options().
   Result<std::shared_ptr<const Snapshot>> Publish(
       const Histogram& data, const SnapshotOptions& options,
-      std::uint64_t seed);
+      std::uint64_t seed,
+      const planner::WorkloadProfile* workload = nullptr);
 
   /// The currently published snapshot; null before the first Publish.
   std::shared_ptr<const Snapshot> snapshot() const {
@@ -66,28 +89,53 @@ class QueryService {
 
   /// Answers `count` ranges into `out`, all against the single snapshot
   /// current when the batch started, and returns that snapshot's epoch.
-  /// Cached answers are reused and misses are cached. Requires a
-  /// published snapshot. With the cache disabled this performs zero heap
-  /// allocations (single-shard snapshots additionally pay only one
-  /// virtual dispatch for the whole batch).
+  /// Cached answers are reused (batched per-lock-shard lookups) and
+  /// misses are cached. Requires a published snapshot. With the cache
+  /// disabled this performs zero heap allocations (single-shard
+  /// snapshots additionally pay only one virtual dispatch for the whole
+  /// batch). Every query's length is recorded in the observed-workload
+  /// histogram that kAuto planning consumes.
   std::uint64_t QueryBatch(const Interval* ranges, std::size_t count,
                            double* out) const;
 
   /// Single-range convenience form of QueryBatch.
   std::uint64_t Query(const Interval& range, double* out) const;
 
+  /// The traffic seen so far as a planner profile over `domain_size`
+  /// positions: query lengths are log2-bucketed at record time and each
+  /// non-empty bucket contributes its midpoint length (clamped to the
+  /// domain). Empty when nothing has been answered yet.
+  planner::WorkloadProfile ObservedWorkload(std::int64_t domain_size) const;
+
   bool cache_enabled() const { return cache_.enabled(); }
   AnswerCache::Stats cache_stats() const { return cache_.stats(); }
+
+  /// Entries currently cached (sums the cache's lock shards).
+  std::int64_t cache_size() const { return cache_.size(); }
 
   /// Epoch of the current snapshot; 0 before the first Publish.
   std::uint64_t current_epoch() const;
 
  private:
+  /// floor(log2(length)) buckets; 63 covers any int64 length.
+  static constexpr std::size_t kLengthBuckets = 63;
+  /// Counter stripes, selected by thread id once per batch, so reader
+  /// threads on different stripes never contend on a hot bucket's cache
+  /// line; ObservedWorkload sums across stripes.
+  static constexpr std::size_t kLengthStripes = 8;
+
   mutable AnswerCache cache_;
+  planner::PlannerOptions planner_options_;
   /// Serializes publishers so epochs increase in publish order.
   std::mutex publish_mutex_;
   std::uint64_t last_epoch_ = 0;
   std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
+  /// observed_lengths_[s][b] counts answered queries with
+  /// 2^b <= length < 2^(b+1) recorded by stripe s; relaxed increments
+  /// on the read path.
+  mutable std::array<std::array<std::atomic<std::uint64_t>, kLengthBuckets>,
+                     kLengthStripes>
+      observed_lengths_{};
 };
 
 }  // namespace dphist

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "estimators/universal.h"
 #include "estimators/wavelet.h"
 
@@ -42,6 +43,8 @@ std::unique_ptr<RangeCountEstimator> BuildShard(const Histogram& shard_data,
           options.round_to_nonnegative_integers;
       return std::make_unique<WaveletEstimator>(shard_data, wavelet, rng);
     }
+    case StrategyKind::kAuto:
+      break;  // rejected in Build before any shard is constructed
   }
   DPHIST_CHECK_MSG(false, "unreachable: unknown StrategyKind");
   return nullptr;
@@ -59,6 +62,8 @@ const char* StrategyKindName(StrategyKind kind) {
       return "hbar";
     case StrategyKind::kWavelet:
       return "wavelet";
+    case StrategyKind::kAuto:
+      return "auto";
   }
   return "unknown";
 }
@@ -68,6 +73,7 @@ Result<StrategyKind> ParseStrategyKind(const std::string& name) {
   if (name == "htilde" || name == "H~") return StrategyKind::kHTilde;
   if (name == "hbar" || name == "H-bar") return StrategyKind::kHBar;
   if (name == "wavelet") return StrategyKind::kWavelet;
+  if (name == "auto") return StrategyKind::kAuto;
   return Status::InvalidArgument("unknown strategy: " + name);
 }
 
@@ -83,6 +89,11 @@ Result<std::shared_ptr<const Snapshot>> Snapshot::Build(
   if (options.shards < 1) {
     return Status::InvalidArgument("shards must be >= 1");
   }
+  if (options.strategy == StrategyKind::kAuto) {
+    return Status::InvalidArgument(
+        "auto strategy must be resolved by the planner before Build "
+        "(QueryService::Publish and serve --strategy auto resolve it)");
+  }
   const std::int64_t n = data.size();
   if (n < 1) return Status::InvalidArgument("domain must be non-empty");
 
@@ -90,17 +101,23 @@ Result<std::shared_ptr<const Snapshot>> Snapshot::Build(
   const std::int64_t width = (n + requested - 1) / requested;
   const std::int64_t count = (n + width - 1) / width;
 
-  std::vector<std::unique_ptr<RangeCountEstimator>> shards;
-  shards.reserve(static_cast<std::size_t>(count));
-  for (std::int64_t i = 0; i < count; ++i) {
-    const std::int64_t lo = i * width;
-    const std::int64_t hi = std::min(n - 1, lo + width - 1);
-    // Fork in shard order so the release is reproducible regardless of
-    // how the estimator constructors consume their streams.
-    Rng shard_rng = rng->Fork();
-    shards.push_back(
-        BuildShard(SliceHistogram(data, lo, hi), options, &shard_rng));
-  }
+  // Fork every shard stream up front, in shard order, so the release is
+  // reproducible regardless of how the estimator constructors consume
+  // their streams AND regardless of how the build below is scheduled.
+  std::vector<Rng> shard_rngs;
+  shard_rngs.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) shard_rngs.push_back(rng->Fork());
+
+  std::vector<std::unique_ptr<RangeCountEstimator>> shards(
+      static_cast<std::size_t>(count));
+  ParallelFor(count, ResolveThreadCount(options.build_threads),
+              [&](std::int64_t i) {
+                const std::int64_t lo = i * width;
+                const std::int64_t hi = std::min(n - 1, lo + width - 1);
+                shards[static_cast<std::size_t>(i)] =
+                    BuildShard(SliceHistogram(data, lo, hi), options,
+                               &shard_rngs[static_cast<std::size_t>(i)]);
+              });
   return std::shared_ptr<const Snapshot>(
       new Snapshot(options, epoch, n, width, std::move(shards)));
 }

@@ -40,9 +40,11 @@ enum class StrategyKind {
   kHTilde,   // noisy hierarchical counts (H~)
   kHBar,     // H~ + constrained inference (H-bar)
   kWavelet,  // Privelet weighted Haar
+  kAuto,     // let the cost-based planner pick (src/planner/planner.h);
+             // must be resolved before Snapshot::Build
 };
 
-/// Short stable name ("ltilde", "htilde", "hbar", "wavelet").
+/// Short stable name ("ltilde", "htilde", "hbar", "wavelet", "auto").
 const char* StrategyKindName(StrategyKind kind);
 
 /// Inverse of StrategyKindName; also accepts the display names
@@ -62,15 +64,23 @@ struct SnapshotOptions {
   /// Section 5.2 protocol knobs, forwarded to the estimators.
   bool round_to_nonnegative_integers = true;
   bool prune_nonpositive_subtrees = true;
+  /// Worker threads for Build's per-shard estimator construction; 0 =
+  /// hardware concurrency. Never affects the release's bits: shard RNG
+  /// streams are forked in shard order before any worker runs, so the
+  /// snapshot is a pure function of (data, options, rng) at any count.
+  std::int64_t build_threads = 1;
 };
 
 /// One immutable epsilon-DP release, safe for lock-free concurrent reads.
 class Snapshot {
  public:
-  /// Draws the noise and builds every shard estimator. Each shard forks
-  /// its own stream from `rng` in shard order, so the release is a
-  /// deterministic function of (data, options, rng state). Fails on
-  /// non-positive epsilon, branching < 2, shards < 1, or an empty domain.
+  /// Draws the noise and builds every shard estimator, fanning the
+  /// per-shard construction out over options.build_threads workers. Each
+  /// shard forks its own stream from `rng` in shard order before the
+  /// fan-out, so the release is a deterministic function of
+  /// (data, options, rng state) — bit-identical at every thread count.
+  /// Fails on non-positive epsilon, branching < 2, shards < 1, an empty
+  /// domain, or an unresolved kAuto strategy.
   static Result<std::shared_ptr<const Snapshot>> Build(
       const Histogram& data, const SnapshotOptions& options,
       std::uint64_t epoch, Rng* rng);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <utility>
+#include <vector>
+
 #include "common/rng.h"
 
 namespace dphist {
@@ -43,6 +47,48 @@ TEST(HistogramTest, SetAndIncrementInvalidatePrefix) {
   EXPECT_DOUBLE_EQ(h.Count(Interval(0, 2)), 8.0);
   h.Increment(2, 2.5);
   EXPECT_DOUBLE_EQ(h.Count(Interval(0, 2)), 10.5);
+}
+
+TEST(HistogramTest, ConcurrentFirstCountAfterMutationIsSafe) {
+  // The thread-safety contract behind parallel Snapshot::Build: const
+  // accessors need no caller-side ceremony. Mutate (invalidating the
+  // eager prefix table), then race many first Count() calls — the
+  // double-checked rebuild must give every thread the same answer.
+  // Under ThreadSanitizer this is also a data-race probe.
+  Histogram h = Histogram::FromCounts(std::vector<std::int64_t>(4096, 1));
+  h.Increment(17, 3.0);  // prefix table now stale
+
+  constexpr int kThreads = 8;
+  std::vector<double> totals(kThreads, -1.0);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, &totals, t] {
+      totals[static_cast<std::size_t>(t)] =
+          h.Count(Interval(0, h.size() - 1)) + h.Count(Interval(17, 17));
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (double total : totals) EXPECT_DOUBLE_EQ(total, 4099.0 + 4.0);
+}
+
+TEST(HistogramTest, CopyAndMoveCarryCountsAndPrefixState) {
+  Histogram original = Histogram::FromCounts({1, 2, 3});
+  Histogram copy = original;
+  EXPECT_DOUBLE_EQ(copy.Count(Interval(0, 2)), 6.0);
+  copy.Set(0, 10.0);
+  // Copies are independent.
+  EXPECT_DOUBLE_EQ(copy.Count(Interval(0, 2)), 15.0);
+  EXPECT_DOUBLE_EQ(original.Count(Interval(0, 2)), 6.0);
+
+  Histogram moved = std::move(copy);
+  EXPECT_DOUBLE_EQ(moved.Count(Interval(0, 2)), 15.0);
+
+  Histogram assigned = Histogram::FromCounts({9});
+  assigned = original;
+  EXPECT_DOUBLE_EQ(assigned.Count(Interval(0, 2)), 6.0);
+  assigned = Histogram::FromCounts({4, 4});
+  EXPECT_DOUBLE_EQ(assigned.Count(Interval(0, 1)), 8.0);
 }
 
 TEST(HistogramTest, SortedCountsIsUnattributedHistogram) {

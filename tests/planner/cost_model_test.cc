@@ -1,0 +1,144 @@
+#include "planner/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "planner/variance_oracle.h"
+#include "planner/workload_profile.h"
+#include "service/snapshot.h"
+
+namespace dphist::planner {
+namespace {
+
+SnapshotOptions LinearOptions(StrategyKind kind, double epsilon = 1.0,
+                              std::int64_t shards = 1) {
+  SnapshotOptions options;
+  options.strategy = kind;
+  options.epsilon = epsilon;
+  options.shards = shards;
+  options.round_to_nonnegative_integers = false;
+  options.prune_nonpositive_subtrees = false;
+  return options;
+}
+
+TEST(CostModelTest, LTildeUnitWorkloadMatchesClosedForm) {
+  CostModel model(64);
+  WorkloadProfile units(64);
+  units.AddLength(1, 10.0);
+  auto cost =
+      model.Evaluate(LinearOptions(StrategyKind::kLTilde, 0.5), units);
+  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+  // 2 * 1 / 0.5^2 = 8, independent of placement.
+  EXPECT_DOUBLE_EQ(cost.value().mean_variance, 8.0);
+  EXPECT_DOUBLE_EQ(cost.value().worst_variance, 8.0);
+}
+
+TEST(CostModelTest, SinglePlacementLengthMatchesOracleExactly) {
+  // The full-domain length has exactly one placement, so the cost model
+  // must reproduce the oracle's number with no averaging slack, for
+  // every strategy.
+  const std::int64_t n = 32;
+  CostModel model(n);
+  WorkloadProfile full(n);
+  full.AddLength(n);
+  for (StrategyKind kind :
+       {StrategyKind::kLTilde, StrategyKind::kHTilde, StrategyKind::kHBar,
+        StrategyKind::kWavelet}) {
+    SnapshotOptions options = LinearOptions(kind, 1.0, 2);
+    auto cost = model.Evaluate(options, full);
+    ASSERT_TRUE(cost.ok()) << StrategyKindName(kind);
+    VarianceOracle oracle(options, n);
+    EXPECT_DOUBLE_EQ(cost.value().mean_variance,
+                     oracle.RangeVariance(Interval(0, n - 1)))
+        << StrategyKindName(kind);
+  }
+}
+
+TEST(CostModelTest, MeanIsWorkloadWeightedAcrossLengths) {
+  // Two L~ lengths with 3:1 weights: the mean interpolates exactly
+  // (L~ variance is placement-invariant, 2|q|/eps^2).
+  CostModel model(64);
+  WorkloadProfile profile(64);
+  profile.AddLength(1, 3.0);
+  profile.AddLength(8, 1.0);
+  auto cost = model.Evaluate(LinearOptions(StrategyKind::kLTilde), profile);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(cost.value().mean_variance, (3.0 * 2.0 + 1.0 * 16.0) / 4.0);
+  EXPECT_DOUBLE_EQ(cost.value().worst_variance, 16.0);
+}
+
+TEST(CostModelTest, ShardingReducesInteriorHierarchicalCost) {
+  // Mirrors the oracle property the planner exploits: shard trees are
+  // shallower, so short H~ queries get cheaper as shards increase.
+  CostModel model(64);
+  WorkloadProfile shorts(64);
+  shorts.AddLength(4);
+  auto deep =
+      model.Evaluate(LinearOptions(StrategyKind::kHTilde, 1.0, 1), shorts);
+  auto shallow =
+      model.Evaluate(LinearOptions(StrategyKind::kHTilde, 1.0, 8), shorts);
+  ASSERT_TRUE(deep.ok());
+  ASSERT_TRUE(shallow.ok());
+  EXPECT_LT(shallow.value().mean_variance, deep.value().mean_variance);
+}
+
+TEST(CostModelTest, RoundingKnobsAreLinearizedNotRejected) {
+  // Serving defaults round/prune; the cost model ranks by the linear
+  // proxy instead of refusing.
+  CostModel model(32);
+  WorkloadProfile profile(32);
+  profile.AddLength(4);
+  SnapshotOptions rounded;  // defaults: rounding and pruning on
+  rounded.strategy = StrategyKind::kHBar;
+  auto cost = model.Evaluate(rounded, profile);
+  EXPECT_TRUE(cost.ok()) << cost.status().ToString();
+}
+
+TEST(CostModelTest, AnalyzerWidthCapMakesWideOlsCandidatesInfeasible) {
+  CostModel::Options options;
+  options.max_analyzer_width = 16;
+  CostModel model(64, options);
+  WorkloadProfile profile(64);
+  profile.AddLength(4);
+
+  // 64-wide H-bar shard exceeds the cap; 8 shards of width 8 fit.
+  auto wide = model.Evaluate(LinearOptions(StrategyKind::kHBar), profile);
+  EXPECT_FALSE(wide.ok());
+  EXPECT_NE(wide.status().message().find("infeasible"), std::string::npos);
+  auto sharded =
+      model.Evaluate(LinearOptions(StrategyKind::kHBar, 1.0, 8), profile);
+  EXPECT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  // The wavelet pads shards to a power of two: width 10 pads to 16
+  // (feasible at the cap), width 22 pads to 32 (infeasible).
+  auto padded_ok =
+      model.Evaluate(LinearOptions(StrategyKind::kWavelet, 1.0, 7), profile);
+  EXPECT_TRUE(padded_ok.ok()) << padded_ok.status().ToString();
+  auto padded_wide =
+      model.Evaluate(LinearOptions(StrategyKind::kWavelet, 1.0, 3), profile);
+  EXPECT_FALSE(padded_wide.ok());
+
+  // H~ has no Gram factorization, so the cap never applies.
+  auto htilde = model.Evaluate(LinearOptions(StrategyKind::kHTilde), profile);
+  EXPECT_TRUE(htilde.ok());
+}
+
+TEST(CostModelTest, RejectsAutoEmptyProfilesAndBadConfigs) {
+  CostModel model(64);
+  WorkloadProfile profile(64);
+  profile.AddLength(1);
+  EXPECT_FALSE(
+      model.Evaluate(LinearOptions(StrategyKind::kAuto), profile).ok());
+  WorkloadProfile empty(64);
+  EXPECT_FALSE(
+      model.Evaluate(LinearOptions(StrategyKind::kLTilde), empty).ok());
+  WorkloadProfile mismatched(32);
+  mismatched.AddLength(1);
+  EXPECT_FALSE(
+      model.Evaluate(LinearOptions(StrategyKind::kLTilde), mismatched).ok());
+  EXPECT_FALSE(
+      model.Evaluate(LinearOptions(StrategyKind::kLTilde, -1.0), profile)
+          .ok());
+}
+
+}  // namespace
+}  // namespace dphist::planner

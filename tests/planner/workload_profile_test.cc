@@ -1,0 +1,91 @@
+#include "planner/workload_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace dphist::planner {
+namespace {
+
+TEST(WorkloadProfileTest, AccumulatesQueriesByLength) {
+  WorkloadProfile profile(64);
+  EXPECT_TRUE(profile.empty());
+  profile.AddQuery(Interval(0, 0));
+  profile.AddQuery(Interval(63, 63));
+  profile.AddQuery(Interval(10, 19));
+  profile.AddLength(10, 2.5);
+  EXPECT_FALSE(profile.empty());
+  EXPECT_DOUBLE_EQ(profile.total_weight(), 5.5);
+  ASSERT_EQ(profile.length_weights().size(), 2u);
+  EXPECT_DOUBLE_EQ(profile.length_weights().at(1), 2.0);
+  EXPECT_DOUBLE_EQ(profile.length_weights().at(10), 3.5);
+}
+
+TEST(WorkloadProfileTest, GeometricSweepCoversPowersOfTwoAndDomain) {
+  WorkloadProfile profile = WorkloadProfile::GeometricSweep(48);
+  // 1, 2, 4, 8, 16, 32, 48.
+  ASSERT_EQ(profile.length_weights().size(), 7u);
+  EXPECT_EQ(profile.length_weights().count(32), 1u);
+  EXPECT_EQ(profile.length_weights().count(48), 1u);
+  EXPECT_DOUBLE_EQ(profile.total_weight(), 7.0);
+
+  // A power-of-two domain does not double-count the full length.
+  WorkloadProfile pow2 = WorkloadProfile::GeometricSweep(64);
+  EXPECT_EQ(pow2.length_weights().size(), 7u);  // 1..64
+  EXPECT_DOUBLE_EQ(pow2.length_weights().at(64), 1.0);
+}
+
+TEST(WorkloadProfileTest, FromQueryFileParsesTheServeFormat) {
+  std::string path = ::testing::TempDir() + "/profile_queries.txt";
+  {
+    std::ofstream file(path);
+    file << "0 9\n"
+         << "5,14\n"
+         << "\n"
+         << "63 63\n";
+  }
+  auto profile = WorkloadProfile::FromQueryFile(path, 64);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_DOUBLE_EQ(profile.value().total_weight(), 3.0);
+  EXPECT_DOUBLE_EQ(profile.value().length_weights().at(10), 2.0);
+  EXPECT_DOUBLE_EQ(profile.value().length_weights().at(1), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadProfileTest, FileErrorsCarryLineNumbers) {
+  std::string path = ::testing::TempDir() + "/profile_bad.txt";
+  {
+    std::ofstream file(path);
+    file << "0 9\n9 100\n";
+  }
+  auto out_of_range = WorkloadProfile::FromQueryFile(path, 64);
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_NE(out_of_range.status().message().find("line 2"),
+            std::string::npos);
+
+  {
+    std::ofstream file(path);
+    file << "7\n";
+  }
+  auto malformed = WorkloadProfile::FromQueryFile(path, 64);
+  ASSERT_FALSE(malformed.ok());
+  EXPECT_NE(malformed.status().message().find("expected"),
+            std::string::npos);
+
+  auto missing =
+      WorkloadProfile::FromQueryFile(path + ".does-not-exist", 64);
+  EXPECT_FALSE(missing.ok());
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadProfileDeathTest, RejectsQueriesOutsideTheDomain) {
+  WorkloadProfile profile(16);
+  EXPECT_DEATH(profile.AddQuery(Interval(10, 16)), "domain");
+  EXPECT_DEATH(profile.AddLength(17), "length");
+  EXPECT_DEATH(profile.AddLength(4, 0.0), "weight");
+}
+
+}  // namespace
+}  // namespace dphist::planner

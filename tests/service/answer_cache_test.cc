@@ -96,6 +96,114 @@ TEST(AnswerCacheTest, StatsCountHitsAndMisses) {
   EXPECT_EQ(stats.insertions, 1u);
 }
 
+TEST(AnswerCacheTest, LookupManyMatchesScalarLookups) {
+  AnswerCache cache(256, /*lock_shards=*/8);
+  // Seed every third key; a batch larger than the internal chunk then
+  // mixes hits and misses across chunk boundaries and lock shards.
+  std::vector<Interval> ranges;
+  for (std::int64_t i = 0; i < 150; ++i) {
+    ranges.emplace_back(i, i + (i % 7));
+    if (i % 3 == 0) cache.Insert(5, ranges.back(), static_cast<double>(i));
+  }
+  std::vector<double> out(ranges.size(), -1.0);
+  bool hit[150];
+  cache.LookupMany(5, ranges.data(), ranges.size(), out.data(), hit);
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    if (i % 3 == 0) {
+      EXPECT_TRUE(hit[i]) << i;
+      EXPECT_EQ(out[i], static_cast<double>(i)) << i;
+    } else {
+      EXPECT_FALSE(hit[i]) << i;
+    }
+  }
+  // A wrong-epoch batch misses everything.
+  cache.LookupMany(6, ranges.data(), ranges.size(), out.data(), hit);
+  for (std::size_t i = 0; i < ranges.size(); ++i) EXPECT_FALSE(hit[i]);
+}
+
+TEST(AnswerCacheTest, InsertManyHonorsSkipMaskAndRoundTrips) {
+  AnswerCache cache(256, /*lock_shards=*/4);
+  std::vector<Interval> ranges;
+  std::vector<double> answers;
+  bool skip[100];
+  for (std::int64_t i = 0; i < 100; ++i) {
+    ranges.emplace_back(i, i);
+    answers.push_back(static_cast<double>(10 * i));
+    skip[i] = i % 4 == 0;
+  }
+  cache.InsertMany(3, ranges.data(), answers.data(), ranges.size(), skip);
+  double out = 0.0;
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    if (i % 4 == 0) {
+      EXPECT_FALSE(cache.Lookup(3, ranges[i], &out)) << i;
+    } else {
+      ASSERT_TRUE(cache.Lookup(3, ranges[i], &out)) << i;
+      EXPECT_EQ(out, answers[i]) << i;
+    }
+  }
+  // Null skip mask inserts everything, refreshing duplicates in place.
+  cache.InsertMany(3, ranges.data(), answers.data(), ranges.size(), nullptr);
+  EXPECT_EQ(cache.size(), static_cast<std::int64_t>(ranges.size()));
+}
+
+TEST(AnswerCacheTest, BatchedStatsMatchScalarSemantics) {
+  AnswerCache cache(64, /*lock_shards=*/1);
+  std::vector<Interval> ranges = {Interval(0, 1), Interval(2, 3),
+                                  Interval(4, 5)};
+  std::vector<double> answers = {1.0, 2.0, 3.0};
+  cache.InsertMany(1, ranges.data(), answers.data(), ranges.size(), nullptr);
+  EXPECT_EQ(cache.stats().insertions, 3u);
+
+  double out[3];
+  bool hit[3];
+  cache.Insert(1, Interval(9, 9), 9.0);  // not in the batch below
+  cache.LookupMany(1, ranges.data(), 2, out, hit);
+  cache.LookupMany(2, ranges.data() + 2, 1, out, hit);  // wrong epoch
+  AnswerCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(AnswerCacheTest, DisabledCacheBatchedFormsAreNoOps) {
+  AnswerCache cache(0);
+  Interval q(0, 1);
+  double answer = 5.0;
+  cache.InsertMany(1, &q, &answer, 1, nullptr);
+  double out = 0.0;
+  bool hit = true;
+  cache.LookupMany(1, &q, 1, &out, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(AnswerCacheTest, EvictOlderEpochsPurgesExactlyTheStaleEntries) {
+  AnswerCache cache(256, /*lock_shards=*/4);
+  for (std::int64_t i = 0; i < 20; ++i) {
+    cache.Insert(1, Interval(i, i), 1.0);
+    cache.Insert(2, Interval(i, i), 2.0);
+    cache.Insert(3, Interval(i, i), 3.0);
+  }
+  ASSERT_EQ(cache.size(), 60);
+
+  EXPECT_EQ(cache.EvictOlderEpochs(3), 40);
+  EXPECT_EQ(cache.size(), 20);
+  EXPECT_EQ(cache.stats().epoch_evictions, 40u);
+  // LRU capacity evictions are a separate counter.
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  double out = 0.0;
+  for (std::int64_t i = 0; i < 20; ++i) {
+    EXPECT_FALSE(cache.Lookup(1, Interval(i, i), &out)) << i;
+    EXPECT_FALSE(cache.Lookup(2, Interval(i, i), &out)) << i;
+    ASSERT_TRUE(cache.Lookup(3, Interval(i, i), &out)) << i;
+    EXPECT_EQ(out, 3.0);
+  }
+
+  // Idempotent: nothing older remains.
+  EXPECT_EQ(cache.EvictOlderEpochs(3), 0);
+}
+
 TEST(AnswerCacheTest, CapacityNeverExceededUnderConcurrentTraffic) {
   constexpr std::int64_t kCapacity = 128;
   AnswerCache cache(kCapacity, /*lock_shards=*/8);

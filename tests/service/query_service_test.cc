@@ -128,6 +128,105 @@ TEST(QueryServiceTest, SingleQueryFormMatchesBatch) {
   EXPECT_EQ(single, batched);
 }
 
+TEST(QueryServiceTest, SnapshotSwapPurgesStaleEpochEntries) {
+  Histogram data = TestData(64);
+  QueryServiceOptions service_options;
+  service_options.cache_capacity = 256;
+  QueryService service(service_options);
+  ASSERT_TRUE(service.Publish(data, SnapshotOptions(), 1).ok());
+
+  std::vector<Interval> workload = ProbeWorkload(64, 40, 7);
+  std::vector<double> answers(workload.size());
+  service.QueryBatch(workload.data(), workload.size(), answers.data());
+  const std::int64_t cached_before = service.cache_size();
+  ASSERT_GT(cached_before, 0);
+
+  // The swap must leave no epoch-1 entry reachable — the cache is empty
+  // until the new epoch's traffic arrives, not full of dead weight.
+  ASSERT_TRUE(service.Publish(data, SnapshotOptions(), 2).ok());
+  EXPECT_EQ(service.cache_size(), 0);
+  EXPECT_EQ(service.cache_stats().epoch_evictions,
+            static_cast<std::uint64_t>(cached_before));
+
+  // Fresh traffic repopulates under the new epoch only.
+  service.QueryBatch(workload.data(), workload.size(), answers.data());
+  EXPECT_GT(service.cache_size(), 0);
+  ASSERT_TRUE(service.Publish(data, SnapshotOptions(), 3).ok());
+  EXPECT_EQ(service.cache_size(), 0);
+}
+
+TEST(QueryServiceTest, ObservedWorkloadTracksAnsweredLengths) {
+  Histogram data = TestData(64);
+  QueryService service;
+  ASSERT_TRUE(service.Publish(data, SnapshotOptions(), 1).ok());
+  EXPECT_TRUE(service.ObservedWorkload(64).empty());
+
+  std::vector<Interval> workload = {Interval(0, 0), Interval(5, 5),
+                                    Interval(0, 41), Interval(10, 51)};
+  std::vector<double> answers(workload.size());
+  service.QueryBatch(workload.data(), workload.size(), answers.data());
+
+  planner::WorkloadProfile profile = service.ObservedWorkload(64);
+  EXPECT_DOUBLE_EQ(profile.total_weight(), 4.0);
+  // Lengths are log2-bucketed: two units land in bucket [1,1]; the two
+  // 42-length queries land in [32,63], reported at its midpoint 47.
+  EXPECT_DOUBLE_EQ(profile.length_weights().at(1), 2.0);
+  EXPECT_DOUBLE_EQ(profile.length_weights().at(47), 2.0);
+}
+
+TEST(QueryServiceTest, AutoStrategyPlansFromObservedTraffic) {
+  Histogram data = TestData(64);
+  QueryService service;
+  ASSERT_TRUE(service.Publish(data, SnapshotOptions(), 1).ok());
+
+  // Unit-count traffic only; the replan must resolve auto to L~.
+  std::vector<double> answer(1);
+  for (std::int64_t i = 0; i < 64; ++i) {
+    Interval q(i, i);
+    service.QueryBatch(&q, 1, answer.data());
+  }
+  SnapshotOptions auto_options;
+  auto_options.strategy = StrategyKind::kAuto;
+  auto republished = service.Publish(data, auto_options, 2);
+  ASSERT_TRUE(republished.ok()) << republished.status().ToString();
+  EXPECT_EQ(republished.value()->strategy(), StrategyKind::kLTilde);
+  EXPECT_EQ(republished.value()->epoch(), 2u);
+}
+
+TEST(QueryServiceTest, AutoStrategyFallsBackToNeutralPriorWhenUnobserved) {
+  // First publish with kAuto and no traffic at all: the geometric-sweep
+  // prior must still produce a concrete, buildable plan.
+  Histogram data = TestData(48);
+  QueryService service;
+  SnapshotOptions auto_options;
+  auto_options.strategy = StrategyKind::kAuto;
+  auto published = service.Publish(data, auto_options, 5);
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+  EXPECT_NE(published.value()->strategy(), StrategyKind::kAuto);
+  double out = 0.0;
+  EXPECT_EQ(service.Query(Interval(0, 47), &out), 1u);
+}
+
+TEST(QueryServiceTest, AutoStrategyHonorsExplicitProfileOverObservation) {
+  Histogram data = TestData(64);
+  QueryService service;
+  ASSERT_TRUE(service.Publish(data, SnapshotOptions(), 1).ok());
+  // Observed traffic is long-range...
+  std::vector<double> answer(1);
+  for (int i = 0; i < 32; ++i) {
+    Interval q(0, 63);
+    service.QueryBatch(&q, 1, answer.data());
+  }
+  // ...but the caller plans for a unit-count profile explicitly.
+  planner::WorkloadProfile units(64);
+  units.AddLength(1, 100.0);
+  SnapshotOptions auto_options;
+  auto_options.strategy = StrategyKind::kAuto;
+  auto published = service.Publish(data, auto_options, 2, &units);
+  ASSERT_TRUE(published.ok());
+  EXPECT_EQ(published.value()->strategy(), StrategyKind::kLTilde);
+}
+
 // The acceptance-criterion test: concurrent readers during repeated
 // snapshot swaps must always see internally consistent single-epoch
 // batches — every answer in a batch comes from the release whose epoch

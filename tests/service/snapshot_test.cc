@@ -136,6 +136,44 @@ TEST(SnapshotTest, BatchedAnswersMatchScalarAnswers) {
   }
 }
 
+TEST(SnapshotTest, ParallelBuildIsBitIdenticalToSequential) {
+  // The acceptance property for parallel Snapshot::Build: the release is
+  // a pure function of (data, options, rng) — thread count changes only
+  // wall clock. Shard RNG streams are forked in shard order before the
+  // fan-out, so every strategy must reproduce bit for bit.
+  Histogram data = TestData(1 << 12);
+  for (StrategyKind kind :
+       {StrategyKind::kLTilde, StrategyKind::kHTilde, StrategyKind::kHBar,
+        StrategyKind::kWavelet}) {
+    SnapshotOptions options;
+    options.strategy = kind;
+    options.shards = 16;
+    options.epsilon = 0.5;
+    options.build_threads = 1;
+    auto sequential = MustBuild(data, options, 1, 77);
+    options.build_threads = 8;
+    auto parallel = MustBuild(data, options, 1, 77);
+
+    Rng probe_rng(3);
+    for (int i = 0; i < 200; ++i) {
+      std::int64_t lo = probe_rng.NextInt(0, (1 << 12) - 1);
+      Interval q(lo, probe_rng.NextInt(lo, (1 << 12) - 1));
+      EXPECT_EQ(sequential->RangeCount(q), parallel->RangeCount(q))
+          << StrategyKindName(kind) << " " << q.ToString();
+    }
+  }
+}
+
+TEST(SnapshotTest, BuildRejectsUnresolvedAutoStrategy) {
+  Histogram data = TestData(16);
+  Rng rng(1);
+  SnapshotOptions options;
+  options.strategy = StrategyKind::kAuto;
+  auto built = Snapshot::Build(data, options, 1, &rng);
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.status().message().find("planner"), std::string::npos);
+}
+
 TEST(SnapshotTest, StrategyKindNamesRoundTrip) {
   for (StrategyKind kind :
        {StrategyKind::kLTilde, StrategyKind::kHTilde, StrategyKind::kHBar,
@@ -149,6 +187,11 @@ TEST(SnapshotTest, StrategyKindNamesRoundTrip) {
   EXPECT_TRUE(ParseStrategyKind("L~").ok());
   EXPECT_TRUE(ParseStrategyKind("H~").ok());
   EXPECT_FALSE(ParseStrategyKind("fourier").ok());
+  // The planner sentinel round-trips too.
+  auto auto_kind = ParseStrategyKind("auto");
+  ASSERT_TRUE(auto_kind.ok());
+  EXPECT_EQ(auto_kind.value(), StrategyKind::kAuto);
+  EXPECT_STREQ(StrategyKindName(StrategyKind::kAuto), "auto");
 }
 
 TEST(SnapshotDeathTest, RejectsOutOfDomainRange) {

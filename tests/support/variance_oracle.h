@@ -1,82 +1,20 @@
-// Closed-form error oracles for the statistical conformance harness.
-//
-// The matrix-mechanism view (src/analysis/strategy_matrix.h) gives the
-// *exact* expected squared error of every snapshot configuration the
-// serving layer can publish, as long as the estimators stay linear
-// (rounding and pruning off):
-//
-//   L~       Var(q) = 2 |q| / eps^2                       (identity OLS)
-//   H~       Var(q) = |decomposition(q)| * 2 (ell/eps)^2  (subtree sum)
-//   H-bar    Var(q) = OLS variance under the H strategy   (Theorem 3 ==
-//                                                          least squares)
-//   wavelet  Var(q) = OLS variance under the weighted Haar strategy
-//
-// Sharded snapshots compose exactly: shards draw independent noise, so a
-// spanning range's variance is the sum of the clipped per-shard
-// variances. VarianceOracle evaluates all of that, making "is the
-// serving path statistically correct?" a checkable per-query assertion:
-// the empirical mean squared error over T independent releases must land
-// within SquaredErrorRelativeBound(T, z) of the closed form.
-//
-// This library holds no TEST() registrations; it is compiled once into
-// dphist_test_support and linked into every test binary.
+// Compatibility shim: the closed-form variance oracle used by the
+// statistical conformance harness was promoted from test support into
+// the production planner subsystem (src/planner/variance_oracle.h),
+// where the cost-based strategy/shard planner consumes the same math.
+// Test code keeps its historical dphist::test_support spelling through
+// these aliases; all of the mathematics lives in src/planner/ — nothing
+// is duplicated here.
 
 #ifndef DPHIST_TESTS_SUPPORT_VARIANCE_ORACLE_H_
 #define DPHIST_TESTS_SUPPORT_VARIANCE_ORACLE_H_
 
-#include <cstdint>
-#include <map>
-#include <memory>
-
-#include "analysis/strategy_matrix.h"
-#include "domain/interval.h"
-#include "service/snapshot.h"
+#include "planner/variance_oracle.h"
 
 namespace dphist::test_support {
 
-/// Exact expected squared error of a Snapshot's range answers.
-///
-/// Only valid for the linear protocol: options.round_to_nonnegative_
-/// integers and options.prune_nonpositive_subtrees must be false
-/// (rounding/pruning are nonlinear post-processing with no closed form).
-/// Construction CHECK-fails otherwise.
-class VarianceOracle {
- public:
-  VarianceOracle(const SnapshotOptions& options, std::int64_t domain_size);
-
-  /// Exact Var[answer(q) - truth(q)] for a snapshot published with these
-  /// options over this domain. `q` must lie within [0, domain_size).
-  double RangeVariance(const Interval& range) const;
-
-  std::int64_t domain_size() const { return domain_size_; }
-  std::int64_t shard_width() const { return shard_width_; }
-
- private:
-  /// Variance of one shard's answer to a shard-local interval, for a
-  /// shard of `width` positions.
-  double ShardVariance(std::int64_t width, const Interval& local) const;
-
-  /// Lazily built per-width closed-form analyzer (H-bar and wavelet).
-  const StrategyAnalyzer& AnalyzerFor(std::int64_t width) const;
-
-  SnapshotOptions options_;
-  std::int64_t domain_size_;
-  std::int64_t shard_width_;
-  /// Shards come in at most two widths (the last may be narrower).
-  mutable std::map<std::int64_t, std::unique_ptr<StrategyAnalyzer>>
-      analyzers_;
-};
-
-/// Conservative relative half-width of a Monte-Carlo mean of `trials`
-/// iid squared errors, at `z_score` standard deviations.
-///
-/// Every linear-protocol answer error X is a sum of independent Laplace
-/// terms, whose excess kurtosis (3 for a single Laplace) can only shrink
-/// under independent summation, so Var(X^2) <= 5 Var(X)^2. The mean of T
-/// trials therefore has relative standard deviation at most sqrt(5/T),
-/// and |empirical / exact - 1| <= z * sqrt(5/T) holds except with the
-/// z-score's tail probability.
-double SquaredErrorRelativeBound(std::int64_t trials, double z_score);
+using planner::SquaredErrorRelativeBound;
+using planner::VarianceOracle;
 
 }  // namespace dphist::test_support
 

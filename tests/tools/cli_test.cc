@@ -288,6 +288,143 @@ TEST(CliTest, ServeIsDeterministicAcrossThreadCounts) {
   std::remove(queries_path.c_str());
 }
 
+TEST(CliTest, PlanGoldenOutput) {
+  // Golden regression for `dphist plan`: L~ and H~ costs are exact
+  // rational closed forms (no linear algebra), so this table must
+  // reproduce byte for byte on every platform. The workload mixes a
+  // unit count, a short aligned range, and the full domain.
+  std::string queries_path = TempPath("cli_plan_gold.txt");
+  {
+    std::ofstream queries(queries_path);
+    queries << "0 0\n8 15\n0 31\n";
+  }
+  std::string out, err;
+  ASSERT_EQ(RunMain({"plan", "--queries", queries_path.c_str(), "--domain",
+                     "32", "--epsilon", "1", "--strategies",
+                     "ltilde,htilde", "--max-shards", "4"},
+                    &out, &err),
+            0)
+      << err;
+  EXPECT_EQ(out,
+            "# workload: 3 queries over domain 32 (3 distinct lengths)\n"
+            "strategy shards       mean_var      worst_var  note\n"
+            "ltilde        1        27.3333             64\n"
+            "ltilde        2        27.3333             64\n"
+            "ltilde        4        27.3333             64\n"
+            "htilde        4        82.6667            128\n"
+            "htilde        2        95.8333            200\n"
+            "htilde        1            114            288\n"
+            "plan: strategy=ltilde shards=1 mean_var=27.3333 "
+            "worst_var=64\n");
+  std::remove(queries_path.c_str());
+}
+
+TEST(CliTest, PlanReportsInfeasibleCandidatesAndObjective) {
+  std::string queries_path = TempPath("cli_plan_infeasible.txt");
+  { std::ofstream queries(queries_path); queries << "0 63\n"; }
+  std::string out, err;
+  // Cap the analyzer width so unsharded H-bar is infeasible but sharded
+  // H-bar is not; the table must carry the reason, not silently drop it.
+  ASSERT_EQ(RunMain({"plan", "--queries", queries_path.c_str(), "--domain",
+                     "64", "--epsilon", "1", "--strategies", "hbar",
+                     "--max-shards", "4", "--max-analyzer-width", "16"},
+                    &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("infeasible"), std::string::npos);
+  EXPECT_NE(out.find("plan: strategy=hbar shards=4"), std::string::npos);
+
+  // The worst-case objective is accepted; nonsense objectives are not.
+  EXPECT_EQ(RunMain({"plan", "--queries", queries_path.c_str(), "--domain",
+                     "64", "--epsilon", "1", "--objective", "worst"},
+                    &out, &err),
+            0)
+      << err;
+  EXPECT_EQ(RunMain({"plan", "--queries", queries_path.c_str(), "--domain",
+                     "64", "--epsilon", "1", "--objective", "median"},
+                    &out, &err),
+            1);
+  EXPECT_NE(err.find("objective"), std::string::npos);
+  std::remove(queries_path.c_str());
+}
+
+TEST(CliTest, PlanValidatesFlags) {
+  std::string queries_path = TempPath("cli_plan_bad.txt");
+  { std::ofstream queries(queries_path); queries << "0 1\n"; }
+  std::string out, err;
+  // Needs a domain source.
+  EXPECT_EQ(RunMain({"plan", "--queries", queries_path.c_str(),
+                     "--epsilon", "1"},
+                    &out, &err),
+            1);
+  EXPECT_NE(err.find("--input"), std::string::npos);
+  // auto is a request to plan, not a candidate.
+  EXPECT_EQ(RunMain({"plan", "--queries", queries_path.c_str(), "--domain",
+                     "8", "--epsilon", "1", "--strategies", "auto"},
+                    &out, &err),
+            1);
+  EXPECT_NE(err.find("auto"), std::string::npos);
+  // Strategy typos surface the parse error.
+  EXPECT_EQ(RunMain({"plan", "--queries", queries_path.c_str(), "--domain",
+                     "8", "--epsilon", "1", "--strategies", "fourier"},
+                    &out, &err),
+            1);
+  EXPECT_NE(err.find("unknown strategy"), std::string::npos);
+  std::remove(queries_path.c_str());
+}
+
+TEST(CliTest, ServeAutoPicksLTildeForUnitWorkload) {
+  std::string data_path = TempPath("cli_auto_unit_data.csv");
+  std::string queries_path = TempPath("cli_auto_unit_queries.txt");
+  std::string out, err;
+  ASSERT_EQ(RunMain({"generate", "--dataset", "social", "--output",
+                     data_path.c_str(), "--size", "256"},
+                    &out, &err),
+            0)
+      << err;
+  {
+    std::ofstream queries(queries_path);
+    for (int i = 0; i < 64; ++i) queries << i << " " << i << "\n";
+  }
+  ASSERT_EQ(RunMain({"serve", "--input", data_path.c_str(), "--queries",
+                     queries_path.c_str(), "--epsilon", "1", "--strategy",
+                     "auto"},
+                    &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("# planned strategy=ltilde"), std::string::npos)
+      << out;
+  std::remove(data_path.c_str());
+  std::remove(queries_path.c_str());
+}
+
+TEST(CliTest, ServeAutoPicksAHierarchyForLongRangeWorkload) {
+  std::string data_path = TempPath("cli_auto_long_data.csv");
+  std::string queries_path = TempPath("cli_auto_long_queries.txt");
+  std::string out, err;
+  ASSERT_EQ(RunMain({"generate", "--dataset", "social", "--output",
+                     data_path.c_str(), "--size", "256"},
+                    &out, &err),
+            0)
+      << err;
+  {
+    std::ofstream queries(queries_path);
+    queries << "0 127\n0 255\n64 255\n32 159\n";
+  }
+  ASSERT_EQ(RunMain({"serve", "--input", data_path.c_str(), "--queries",
+                     queries_path.c_str(), "--epsilon", "1", "--strategy",
+                     "auto"},
+                    &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("# planned strategy="), std::string::npos) << out;
+  EXPECT_EQ(out.find("# planned strategy=ltilde"), std::string::npos)
+      << "long ranges must resolve to a hierarchical strategy\n"
+      << out;
+  std::remove(data_path.c_str());
+  std::remove(queries_path.c_str());
+}
+
 TEST(CliTest, MissingInputFileSurfacesIoError) {
   std::string out, err;
   EXPECT_EQ(RunMain({"release-sorted", "--input",

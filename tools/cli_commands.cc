@@ -15,6 +15,8 @@
 #include "domain/histogram.h"
 #include "estimators/unattributed.h"
 #include "estimators/universal.h"
+#include "planner/planner.h"
+#include "planner/workload_profile.h"
 #include "service/query_service.h"
 
 namespace dphist::cli {
@@ -31,14 +33,68 @@ constexpr char kUsage[] =
     "  release-sorted    --input P --output P --epsilon E [--seed S]\n"
     "  query             --release P --lo X --hi Y\n"
     "  serve             --input P --queries P --epsilon E\n"
-    "                    [--strategy hbar|htilde|ltilde|wavelet]\n"
+    "                    [--strategy hbar|htilde|ltilde|wavelet|auto]\n"
     "                    [--branching K] [--shards S] [--cache N]\n"
-    "                    [--threads T] [--seed S] [--no-round]\n"
-    "                    [--no-prune]\n";
+    "                    [--threads T] [--build-threads B] [--seed S]\n"
+    "                    [--no-round] [--no-prune] [--max-shards M]\n"
+    "                    [--strategies a,b,c] [--objective mean|worst]\n"
+    "                    [--max-analyzer-width W]   (auto planning)\n"
+    "  plan              --queries P --epsilon E (--input P | --domain N)\n"
+    "                    [--branching K] [--max-shards M]\n"
+    "                    [--strategies a,b,c] [--objective mean|worst]\n"
+    "                    [--max-analyzer-width W]\n";
 
 Status RequireFlag(const Flags& flags, const std::string& name) {
   if (!flags.Has(name)) {
     return Status::InvalidArgument("missing required flag --" + name);
+  }
+  return Status::Ok();
+}
+
+/// Parses a comma-separated strategy list ("ltilde,hbar").
+Result<std::vector<StrategyKind>> ParseStrategiesList(
+    const std::string& csv) {
+  std::vector<StrategyKind> strategies;
+  std::string token;
+  std::istringstream stream(csv);
+  while (std::getline(stream, token, ',')) {
+    if (token.empty()) continue;
+    auto kind = ParseStrategyKind(token);
+    if (!kind.ok()) return kind.status();
+    if (kind.value() == StrategyKind::kAuto) {
+      return Status::InvalidArgument(
+          "auto cannot be a candidate strategy in --strategies");
+    }
+    strategies.push_back(kind.value());
+  }
+  if (strategies.empty()) {
+    return Status::InvalidArgument("empty --strategies list");
+  }
+  return strategies;
+}
+
+/// Shared `plan`/`serve` planner knobs from flags.
+Status FillPlannerOptions(const Flags& flags,
+                          planner::PlannerOptions* options) {
+  options->max_shards = flags.GetInt("max-shards", 64);
+  if (options->max_shards < 1) {
+    return Status::InvalidArgument("max-shards must be >= 1");
+  }
+  options->cost.max_analyzer_width =
+      flags.GetInt("max-analyzer-width", 1024);
+  if (options->cost.max_analyzer_width < 1) {
+    return Status::InvalidArgument("max-analyzer-width must be >= 1");
+  }
+  if (flags.Has("strategies")) {
+    auto strategies = ParseStrategiesList(flags.GetString("strategies", ""));
+    if (!strategies.ok()) return strategies.status();
+    options->strategies = strategies.value();
+  }
+  const std::string objective = flags.GetString("objective", "mean");
+  if (objective == "worst") {
+    options->minimize_worst_case = true;
+  } else if (objective != "mean") {
+    return Status::InvalidArgument("objective must be mean or worst");
   }
   return Status::Ok();
 }
@@ -188,45 +244,31 @@ Status RunServe(const Flags& flags, std::ostream& out) {
   }
   options.round_to_nonnegative_integers = !flags.GetBool("no-round", false);
   options.prune_nonpositive_subtrees = !flags.GetBool("no-prune", false);
+  options.build_threads = flags.GetInt("build-threads", 1);
 
   // Parse the workload before paying for the release.
-  std::ifstream queries_file(flags.GetString("queries", ""));
-  if (!queries_file) {
-    return Status::IoError("cannot open query file: " +
-                           flags.GetString("queries", ""));
-  }
-  std::vector<Interval> workload;
-  std::string line;
-  std::int64_t line_number = 0;
-  while (std::getline(queries_file, line)) {
-    ++line_number;
-    for (char& c : line) {
-      if (c == ',') c = ' ';
-    }
-    if (line.find_first_not_of(" \t\r") == std::string::npos) {
-      continue;  // blank line
-    }
-    std::istringstream fields(line);
-    std::int64_t lo = 0;
-    std::int64_t hi = 0;
-    if (!(fields >> lo) || !(fields >> hi)) {
-      return Status::InvalidArgument(
-          "query line " + std::to_string(line_number) +
-          ": expected \"lo hi\"");
-    }
-    if (lo > hi || lo < 0 || hi >= n) {
-      return Status::OutOfRange("query line " + std::to_string(line_number) +
-                                ": range out of bounds");
-    }
-    workload.emplace_back(lo, hi);
-  }
+  auto workload_result =
+      planner::LoadWorkloadFile(flags.GetString("queries", ""), n);
+  if (!workload_result.ok()) return workload_result.status();
+  const std::vector<Interval>& workload = workload_result.value();
 
   QueryServiceOptions service_options;
   service_options.cache_capacity = flags.GetInt("cache", 1 << 16);
+  Status planner_status = FillPlannerOptions(flags, &service_options.planner);
+  if (!planner_status.ok()) return planner_status;
   QueryService service(service_options);
-  auto published =
-      service.Publish(data.value(), options,
-                      static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
+
+  // With --strategy auto the planner picks against this exact workload's
+  // length profile (the best information we will ever have about it);
+  // a concrete strategy never reads the profile, so skip building it.
+  planner::WorkloadProfile profile(n);
+  if (options.strategy == StrategyKind::kAuto) {
+    for (const Interval& query : workload) profile.AddQuery(query);
+  }
+  auto published = service.Publish(
+      data.value(), options,
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42)),
+      profile.empty() ? nullptr : &profile);
   if (!published.ok()) return published.status();
 
   // Fan the workload out over worker threads in contiguous slices; each
@@ -256,12 +298,63 @@ Status RunServe(const Flags& flags, std::ostream& out) {
   for (double answer : answers) out << answer << "\n";
   out.precision(old_precision);
   AnswerCache::Stats stats = service.cache_stats();
+  // Report the *resolved* strategy: with --strategy auto this is the
+  // planner's choice, otherwise it echoes the flag.
   out << "# served " << workload.size() << " queries from epoch "
       << published.value()->epoch() << " ("
-      << StrategyKindName(options.strategy) << ", eps=" << options.epsilon
+      << StrategyKindName(published.value()->strategy())
+      << ", eps=" << options.epsilon
       << ", shards=" << published.value()->shard_count() << ", threads="
       << threads << ", cache hits=" << stats.hits << " misses="
       << stats.misses << ")\n";
+  if (options.strategy == StrategyKind::kAuto) {
+    out << "# planned strategy="
+        << StrategyKindName(published.value()->strategy())
+        << " shards=" << published.value()->options().shards << "\n";
+  }
+  return Status::Ok();
+}
+
+Status RunPlan(const Flags& flags, std::ostream& out) {
+  for (const char* required : {"queries", "epsilon"}) {
+    Status s = RequireFlag(flags, required);
+    if (!s.ok()) return s;
+  }
+  std::int64_t n = 0;
+  if (flags.Has("input")) {
+    auto data = LoadHistogramCsv(flags.GetString("input", ""));
+    if (!data.ok()) return data.status();
+    n = data.value().size();
+  } else if (flags.Has("domain")) {
+    n = flags.GetInt("domain", 0);
+    if (n < 1) return Status::InvalidArgument("domain must be >= 1");
+  } else {
+    return Status::InvalidArgument(
+        "plan needs --input (histogram CSV) or --domain (size)");
+  }
+
+  SnapshotOptions base;
+  base.epsilon = flags.GetDouble("epsilon", 1.0);
+  if (base.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  base.branching = flags.GetInt("branching", 2);
+  if (base.branching < 2) {
+    return Status::InvalidArgument("branching must be >= 2");
+  }
+
+  planner::PlannerOptions planner_options;
+  Status s = FillPlannerOptions(flags, &planner_options);
+  if (!s.ok()) return s;
+
+  auto profile =
+      planner::WorkloadProfile::FromQueryFile(flags.GetString("queries", ""),
+                                              n);
+  if (!profile.ok()) return profile.status();
+
+  auto plan = planner::ChoosePlan(profile.value(), base, planner_options);
+  if (!plan.ok()) return plan.status();
+  out << planner::FormatPlanTable(plan.value(), profile.value());
   return Status::Ok();
 }
 
@@ -284,6 +377,8 @@ int Main(int argc, const char* const* argv, std::ostream& out,
     status = RunQuery(flags, out);
   } else if (command == "serve") {
     status = RunServe(flags, out);
+  } else if (command == "plan") {
+    status = RunPlan(flags, out);
   }
   if (!status.ok()) {
     err << "error: " << status.ToString() << "\n";

@@ -7,7 +7,11 @@
 //   release-sorted    publish an epsilon-DP unattributed histogram (S-bar)
 //   query             answer a range count from a published histogram
 //   serve             publish a QueryService snapshot and answer a whole
-//                     range workload concurrently (src/service/)
+//                     range workload concurrently (src/service/);
+//                     --strategy auto lets the planner pick
+//   plan              cost every (strategy, shards) candidate against a
+//                     workload and print the variance-minimizing plan
+//                     (src/planner/)
 
 #ifndef DPHIST_TOOLS_CLI_COMMANDS_H_
 #define DPHIST_TOOLS_CLI_COMMANDS_H_
@@ -37,13 +41,27 @@ Status RunReleaseSorted(const Flags& flags, std::ostream& out);
 Status RunQuery(const Flags& flags, std::ostream& out);
 
 /// `serve --input PATH --queries PATH --epsilon E
-///  [--strategy hbar|htilde|ltilde|wavelet] [--branching K] [--shards S]
-///  [--cache N] [--threads T] [--seed S] [--no-round] [--no-prune]`
+///  [--strategy hbar|htilde|ltilde|wavelet|auto] [--branching K]
+///  [--shards S] [--cache N] [--threads T] [--build-threads B] [--seed S]
+///  [--no-round] [--no-prune] [--max-shards M] [--strategies a,b,c]
+///  [--objective mean|worst] [--max-analyzer-width W]`
 /// Publishes one snapshot of the input histogram, answers every "lo hi"
 /// line of the query file through the shared-cache QueryService with T
 /// worker threads, and writes one answer per line (input order) followed
-/// by a `# served ...` stats comment line.
+/// by a `# served ...` stats comment line. With --strategy auto the
+/// cost-based planner picks the (strategy, shards) pair that minimizes
+/// the workload's expected squared error; the stats line reports the
+/// resolved choice.
 Status RunServe(const Flags& flags, std::ostream& out);
+
+/// `plan --queries PATH --epsilon E (--input PATH | --domain N)
+///  [--branching K] [--max-shards M] [--strategies a,b,c]
+///  [--objective mean|worst] [--max-analyzer-width W]`
+/// Costs every candidate (strategy, shard count) against the workload
+/// file's length profile and prints the full evaluation table plus the
+/// chosen plan. Purely analytical: reads no private data beyond the
+/// domain size, draws no noise.
+Status RunPlan(const Flags& flags, std::ostream& out);
 
 /// Dispatches on the first positional argument; prints usage on error.
 /// Returns a process exit code.

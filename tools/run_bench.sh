@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Builds the benchmark suite in Release mode, runs bench_micro_range_query
-# and bench_service_throughput, and writes BENCH_range_query.json and
-# BENCH_service.json at the repo root so the query-path and serving-layer
-# performance trajectories are tracked from PR to PR.
+# Builds the benchmark suite in Release mode, runs
+# bench_micro_range_query, bench_service_throughput, and
+# bench_snapshot_build, and writes BENCH_range_query.json,
+# BENCH_service.json, and BENCH_snapshot_build.json at the repo root so
+# the query-path, serving-layer, and publish-latency performance
+# trajectories are tracked from PR to PR.
 #
 # Usage: tools/run_bench.sh [extra micro_range_query flags...]
 #   e.g. tools/run_bench.sh --max-log2=16 --min-time-ms=100
@@ -17,7 +19,8 @@ BUILD_DIR="${REPO_ROOT}/build-release"
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release \
   -DDPHIST_BUILD_BENCH=ON >/dev/null
 cmake --build "${BUILD_DIR}" \
-  --target bench_micro_range_query bench_service_throughput -j >/dev/null
+  --target bench_micro_range_query bench_service_throughput \
+  bench_snapshot_build -j >/dev/null
 
 OUT="${REPO_ROOT}/BENCH_range_query.json"
 "${BUILD_DIR}/bench_micro_range_query" "$@" > "${OUT}"
@@ -25,10 +28,14 @@ OUT="${REPO_ROOT}/BENCH_range_query.json"
 SERVICE_OUT="${REPO_ROOT}/BENCH_service.json"
 "${BUILD_DIR}/bench_service_throughput" > "${SERVICE_OUT}"
 
+SNAPSHOT_OUT="${REPO_ROOT}/BENCH_snapshot_build.json"
+"${BUILD_DIR}/bench_snapshot_build" > "${SNAPSHOT_OUT}"
+
 echo "wrote ${OUT}"
 echo "wrote ${SERVICE_OUT}"
+echo "wrote ${SNAPSHOT_OUT}"
 if command -v python3 >/dev/null 2>&1; then
-  python3 - "$OUT" "$SERVICE_OUT" <<'EOF'
+  python3 - "$OUT" "$SERVICE_OUT" "$SNAPSHOT_OUT" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     data = json.load(f)
@@ -41,5 +48,12 @@ s = service["summary"]
 print(f"QueryService cached aggregate at {s['max_threads']} threads: "
       f"{s['cached_qps_at_max_threads']:.3g} q/s "
       f"({s['cached_speedup_max_over_min']:.1f}x over {s['min_threads']})")
+with open(sys.argv[3]) as f:
+    snapshot = json.load(f)
+s = snapshot["summary"]
+print(f"Snapshot build at {s['max_threads']} threads: "
+      f"{s['build_seconds_max_threads']:.3g} s "
+      f"({s['speedup_max_over_min']:.1f}x over {s['min_threads']}; "
+      f"bit_identical={snapshot['bit_identical']})")
 EOF
 fi
