@@ -32,6 +32,13 @@ class RangeCountEstimator {
   /// Convenience form of the batched path.
   std::vector<double> RangeCounts(const std::vector<Interval>& ranges) const;
 
+  /// True when a unit range ([x, x]) is answered in O(1) — a leaf read
+  /// or a prefix difference rather than a tree walk. The serving layer's
+  /// cache admission policy skips memoizing such answers: recomputing is
+  /// as cheap as the cache hit, so the entry would only squat on LRU
+  /// capacity that expensive ranges need (see Snapshot::AdmitToCache).
+  virtual bool UnitRangeIsO1() const { return false; }
+
   /// Short name for reports ("L~", "H~", "H-bar", ...).
   virtual std::string Name() const = 0;
 };

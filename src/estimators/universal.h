@@ -60,6 +60,9 @@ class LTildeEstimator : public RangeCountEstimator {
                        double* out) const override;
   std::string Name() const override { return "L~"; }
 
+  /// A unit range is one leaf read (plus optional rounding).
+  bool UnitRangeIsO1() const override { return true; }
+
   /// Raw noisy per-position answers (rounding happens per range answer).
   const std::vector<double>& leaf_estimates() const { return leaves_; }
 
@@ -142,6 +145,9 @@ class HBarEstimator : public RangeCountEstimator {
   /// True when construction proved the node estimates exactly consistent,
   /// enabling the O(1) prefix-sum answer path.
   bool uses_prefix_fast_path() const { return consistent_; }
+
+  /// Unit ranges are a prefix difference when the tree is consistent.
+  bool UnitRangeIsO1() const override { return consistent_; }
 
   const TreeLayout& tree() const { return tree_; }
 

@@ -1,5 +1,6 @@
 #include "planner/workload_profile.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -43,6 +44,49 @@ Result<WorkloadProfile> WorkloadProfile::FromQueryFile(
   WorkloadProfile profile(domain_size);
   for (const Interval& query : workload.value()) profile.AddQuery(query);
   return profile;
+}
+
+namespace {
+
+/// splitmix64 finalizer: the deterministic replacement stream behind
+/// QueryReservoir (no RNG object to seed or thread through).
+std::uint64_t MixCount(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+QueryReservoir::QueryReservoir(std::size_t capacity) : capacity_(capacity) {
+  sample_.reserve(capacity_);
+}
+
+void QueryReservoir::Observe(const Interval& query) {
+  ++seen_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(query);  // within reserved capacity: no allocation
+    return;
+  }
+  if (capacity_ == 0) return;
+  // Algorithm R: admit the t-th query with probability capacity/t by
+  // drawing a pseudo-uniform slot in [0, t) and keeping it only when the
+  // slot lands inside the reservoir.
+  const std::uint64_t slot = MixCount(seen_) % seen_;
+  if (slot < capacity_) {
+    sample_[static_cast<std::size_t>(slot)] = query;
+  }
+}
+
+void QueryReservoir::AddTo(WorkloadProfile* profile) const {
+  if (sample_.empty()) return;
+  const double weight = static_cast<double>(seen_) /
+                        static_cast<double>(sample_.size());
+  for (const Interval& query : sample_) {
+    profile->AddLength(std::min(query.Length(), profile->domain_size()),
+                       weight);
+  }
 }
 
 Result<std::vector<Interval>> LoadWorkloadFile(const std::string& path,

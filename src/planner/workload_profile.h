@@ -69,6 +69,50 @@ class WorkloadProfile {
 Result<std::vector<Interval>> LoadWorkloadFile(const std::string& path,
                                                std::int64_t domain_size);
 
+/// Fixed-capacity uniform sample of observed queries (Algorithm R).
+///
+/// The service's lock-free traffic counters bucket query lengths at
+/// powers of two, so a replan from observation can differ from a replan
+/// given the raw workload (a stream of length-3 queries is profiled as
+/// its bucket representative, length 2). A reservoir keeps raw (lo, hi)
+/// pairs: when every observed query fits the capacity the sample IS the
+/// workload and replanning from it matches replanning from the file
+/// exactly; beyond capacity it stays a uniform sample, still
+/// length-exact on what it kept.
+///
+/// Replacement uses a deterministic splitmix64 stream over the running
+/// count, so a single-threaded observation sequence always yields the
+/// same sample. Observe never allocates after construction. Not
+/// thread-safe — concurrent callers shard reservoirs and merge via
+/// AddTo (QueryService does).
+class QueryReservoir {
+ public:
+  explicit QueryReservoir(std::size_t capacity);
+
+  /// Records one query: kept outright while the reservoir has room,
+  /// afterwards admitted with probability capacity/seen, replacing a
+  /// pseudo-uniformly chosen resident.
+  void Observe(const Interval& query);
+
+  /// Queries observed (not the number retained).
+  std::uint64_t seen() const { return seen_; }
+
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return sample_.empty(); }
+  const std::vector<Interval>& sample() const { return sample_; }
+
+  /// Folds the sample into `profile` at the queries' exact lengths
+  /// (clamped to the profile's domain), weighting each retained query by
+  /// seen/|sample| so the contributed total weight equals the observed
+  /// count — an unbiased length histogram of the underlying stream.
+  void AddTo(WorkloadProfile* profile) const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t seen_ = 0;
+  std::vector<Interval> sample_;
+};
+
 }  // namespace dphist::planner
 
 #endif  // DPHIST_PLANNER_WORKLOAD_PROFILE_H_

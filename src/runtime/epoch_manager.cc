@@ -1,0 +1,309 @@
+#include "runtime/epoch_manager.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "planner/cost_model.h"
+#include "planner/workload_profile.h"
+
+namespace dphist::runtime {
+
+const char* ReplanTriggerName(ReplanTrigger trigger) {
+  switch (trigger) {
+    case ReplanTrigger::kInitial:
+      return "initial";
+    case ReplanTrigger::kManual:
+      return "manual";
+    case ReplanTrigger::kEveryN:
+      return "every";
+    case ReplanTrigger::kDrift:
+      return "drift";
+  }
+  return "unknown";
+}
+
+EpochManager::EpochManager(QueryService* service, Histogram data,
+                           const EpochManagerOptions& options,
+                           std::uint64_t seed)
+    : service_(service),
+      data_(std::move(data)),
+      options_(options),
+      accountant_(options.epsilon_budget > 0.0
+                      ? options.epsilon_budget
+                      : std::numeric_limits<double>::infinity()),
+      seed_rng_(seed) {
+  DPHIST_CHECK_MSG(service_ != nullptr, "EpochManager needs a service");
+  stats_.epsilon_budget = options_.epsilon_budget;
+  if (options_.async) {
+    worker_ = std::thread([this] { WorkerLoop(); });
+  }
+}
+
+EpochManager::~EpochManager() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::uint64_t EpochManager::NextSeedLocked() {
+  return static_cast<std::uint64_t>(
+      seed_rng_.NextInt(0, std::numeric_limits<std::int64_t>::max()));
+}
+
+Result<ReplanOutcome> EpochManager::PublishInitial(
+    const planner::WorkloadProfile* profile) {
+  ReplanOutcome outcome;
+  outcome.trigger = ReplanTrigger::kInitial;
+
+  std::uint64_t seed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!accountant_.CanSpend(options_.base.epsilon)) {
+      stats_.budget_refusals += 1;
+      return Status::FailedPrecondition(
+          "initial publish would exceed the epsilon budget");
+    }
+    seed = NextSeedLocked();
+  }
+
+  Result<std::shared_ptr<const Snapshot>> published =
+      Status::Internal("unset");
+  if (options_.base.strategy == StrategyKind::kAuto) {
+    planner::WorkloadProfile planning =
+        (profile != nullptr && !profile->empty())
+            ? *profile
+            : service_->ObservedWorkload(data_.size());
+    if (planning.empty()) {
+      planning = planner::WorkloadProfile::GeometricSweep(data_.size());
+    }
+    Result<planner::Plan> plan =
+        planner::ChoosePlan(planning, options_.base, options_.planner);
+    if (!plan.ok()) return plan.status();
+    outcome.planned = true;
+    outcome.plan = std::move(plan).value();
+    published = service_->PublishFromPlan(data_, outcome.plan, seed);
+  } else {
+    published = service_->Publish(data_, options_.base, seed);
+  }
+  if (!published.ok()) return published.status();
+
+  outcome.republished = true;
+  outcome.snapshot = published.value();
+  outcome.epoch = outcome.snapshot->epoch();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // The budget was checked at the gate above and replans are
+    // serialized by busy_, so this spend cannot fail.
+    Status spent = accountant_.Spend(
+        options_.base.epsilon,
+        std::string("publish epoch ") + std::to_string(outcome.epoch));
+    DPHIST_CHECK_MSG(spent.ok(), "accountant refused a gated spend");
+    stats_.republishes += 1;
+    stats_.epsilon_spent = accountant_.spent();
+    count_at_last_publish_ = service_->observed_query_count();
+    count_at_last_drift_check_ = count_at_last_publish_;
+  }
+  return outcome;
+}
+
+ReplanOutcome EpochManager::ExecuteReplan(ReplanTrigger trigger) {
+  ReplanOutcome outcome;
+  outcome.trigger = trigger;
+
+  planner::WorkloadProfile profile =
+      service_->ObservedWorkload(data_.size());
+  if (profile.empty()) {
+    profile = planner::WorkloadProfile::GeometricSweep(data_.size());
+  }
+  Result<planner::Plan> plan =
+      planner::ChoosePlan(profile, options_.base, options_.planner);
+  if (!plan.ok()) {
+    outcome.status = plan.status();
+    return outcome;
+  }
+  outcome.planned = true;
+  outcome.plan = std::move(plan).value();
+
+  if (trigger == ReplanTrigger::kDrift) {
+    // Gate on measured drift: republish only when the current release's
+    // predicted error exceeds the best candidate's by the configured
+    // ratio. Keeping the release costs no privacy.
+    std::shared_ptr<const Snapshot> current = service_->snapshot();
+    DPHIST_CHECK_MSG(current != nullptr, "drift check before first publish");
+    const planner::CostModel model(data_.size(), options_.planner.cost);
+    Result<planner::QueryCost> current_cost =
+        model.Evaluate(current->options(), profile);
+    if (current_cost.ok() && outcome.plan.predicted_mean_variance > 0.0) {
+      outcome.measured_drift = current_cost.value().mean_variance /
+                               outcome.plan.predicted_mean_variance;
+      if (outcome.measured_drift < 1.0 + options_.drift_ratio) {
+        return outcome;  // still the right release
+      }
+    } else if (current->options().strategy == outcome.plan.options.strategy &&
+               current->options().shards == outcome.plan.options.shards) {
+      // The current config cannot be costed (e.g. analyzer width cap)
+      // but the planner would choose it again — nothing to do.
+      return outcome;
+    }
+  }
+
+  std::uint64_t seed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!accountant_.CanSpend(options_.base.epsilon)) {
+      stats_.budget_refusals += 1;
+      outcome.status = Status::FailedPrecondition(
+          "replan refused: epsilon budget exhausted");
+      return outcome;
+    }
+    seed = NextSeedLocked();
+  }
+
+  Result<std::shared_ptr<const Snapshot>> published =
+      service_->PublishFromPlan(data_, outcome.plan, seed);
+  if (!published.ok()) {
+    outcome.status = published.status();
+    return outcome;
+  }
+  outcome.republished = true;
+  outcome.snapshot = published.value();
+  outcome.epoch = outcome.snapshot->epoch();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Status spent = accountant_.Spend(
+      options_.base.epsilon, std::string("replan (") +
+                                 ReplanTriggerName(trigger) + ") epoch " +
+                                 std::to_string(outcome.epoch));
+  DPHIST_CHECK_MSG(spent.ok(), "accountant refused a gated spend");
+  stats_.epsilon_spent = accountant_.spent();
+  return outcome;
+}
+
+void EpochManager::RecordLocked(const ReplanOutcome& outcome) {
+  if (outcome.republished) {
+    stats_.republishes += 1;
+    switch (outcome.trigger) {
+      case ReplanTrigger::kManual:
+        stats_.manual += 1;
+        break;
+      case ReplanTrigger::kEveryN:
+        stats_.every += 1;
+        break;
+      case ReplanTrigger::kDrift:
+        stats_.drift += 1;
+        break;
+      case ReplanTrigger::kInitial:
+        break;
+    }
+  } else if (outcome.status.ok()) {
+    stats_.drift_checks += 1;
+  } else if (outcome.status.code() != StatusCode::kFailedPrecondition) {
+    // Budget refusals were already counted at the gate.
+    stats_.failures += 1;
+  }
+  // Re-anchor both triggers at the traffic level the decision saw, so a
+  // refusal or no-drift verdict backs off instead of refiring every
+  // Poll.
+  count_at_last_publish_ = service_->observed_query_count();
+  count_at_last_drift_check_ = count_at_last_publish_;
+  completed_.push_back(outcome);
+}
+
+bool EpochManager::Poll() {
+  ReplanTrigger trigger;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (busy_ || request_pending_ || stop_) return false;
+    const std::uint64_t count = service_->observed_query_count();
+    if (options_.replan_every > 0 &&
+        count - count_at_last_publish_ >=
+            static_cast<std::uint64_t>(options_.replan_every)) {
+      trigger = ReplanTrigger::kEveryN;
+    } else if (options_.drift_ratio > 0.0 &&
+               count - count_at_last_drift_check_ >=
+                   static_cast<std::uint64_t>(
+                       std::max<std::int64_t>(1,
+                                              options_.drift_check_every))) {
+      trigger = ReplanTrigger::kDrift;
+    } else {
+      return false;
+    }
+    if (options_.async) {
+      request_pending_ = true;
+      request_trigger_ = trigger;
+    } else {
+      busy_ = true;
+    }
+  }
+  if (options_.async) {
+    work_cv_.notify_one();
+    return true;
+  }
+  ReplanOutcome outcome = ExecuteReplan(trigger);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RecordLocked(outcome);
+    busy_ = false;
+  }
+  idle_cv_.notify_all();
+  return true;
+}
+
+Result<ReplanOutcome> EpochManager::ReplanNow() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return !busy_ && !request_pending_; });
+    busy_ = true;
+  }
+  ReplanOutcome outcome = ExecuteReplan(ReplanTrigger::kManual);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RecordLocked(outcome);
+    // A manual replan is reported directly by the caller, not replayed
+    // from the completion queue too.
+    completed_.pop_back();
+    busy_ = false;
+  }
+  idle_cv_.notify_all();
+  if (!outcome.status.ok()) return outcome.status;
+  return outcome;
+}
+
+void EpochManager::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return !busy_ && !request_pending_; });
+}
+
+std::vector<ReplanOutcome> EpochManager::TakeCompleted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ReplanOutcome> taken = std::move(completed_);
+  completed_.clear();
+  return taken;
+}
+
+EpochManager::Stats EpochManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void EpochManager::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stop_ || request_pending_; });
+    if (stop_) return;
+    const ReplanTrigger trigger = request_trigger_;
+    request_pending_ = false;
+    busy_ = true;
+    lock.unlock();
+    ReplanOutcome outcome = ExecuteReplan(trigger);
+    lock.lock();
+    RecordLocked(outcome);
+    busy_ = false;
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace dphist::runtime

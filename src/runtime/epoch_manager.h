@@ -1,0 +1,192 @@
+// EpochManager: the publish lifecycle of a long-lived QueryService.
+//
+// PR 3 left the planner an offline advisor: `dphist serve` planned once,
+// published once, and exited. The EpochManager closes the loop — it
+// watches the service's observed-traffic profile and republishes when a
+// trigger says the current release no longer fits the traffic:
+//
+//   every-N   an automatic republish every `replan_every` observed
+//             queries (unconditional — a standing re-publication
+//             schedule);
+//   drift     every `drift_check_every` queries the manager re-runs
+//             ChoosePlan on the exported profile and compares the
+//             current release's predicted MSE against the best
+//             candidate's; a ratio of at least 1 + drift_ratio
+//             republishes, anything less is recorded as a drift check
+//             and costs no privacy;
+//   manual    ReplanNow() — the REPL `replan` command.
+//
+// A replan runs off the serving thread (options.async): the worker
+// exports the profile, runs ChoosePlan, builds the snapshot, and the
+// QueryService swaps it in atomically — readers never block, and every
+// in-flight batch still finishes under the epoch it started on. The
+// completed outcome is queued for the serving loop to report
+// (TakeCompleted), so transcripts show each "# planned ..." line.
+//
+// Privacy: every republish is a fresh interaction with the private data
+// and spends a fresh options.base.epsilon (sequential composition across
+// epochs — see README "Streaming serving"). The manager tracks the
+// cumulative spend through a PrivacyAccountant; with a finite
+// epsilon_budget it refuses replans that would overspend instead of
+// silently degrading the guarantee.
+
+#ifndef DPHIST_RUNTIME_EPOCH_MANAGER_H_
+#define DPHIST_RUNTIME_EPOCH_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "domain/histogram.h"
+#include "mechanism/privacy_accountant.h"
+#include "planner/planner.h"
+#include "service/query_service.h"
+
+namespace dphist::runtime {
+
+/// Why a republish (or drift check) happened.
+enum class ReplanTrigger { kInitial, kManual, kEveryN, kDrift };
+
+/// Short stable name ("initial", "manual", "every", "drift").
+const char* ReplanTriggerName(ReplanTrigger trigger);
+
+struct EpochManagerOptions {
+  /// Per-release knobs; strategy may be kAuto (planned per publish) or
+  /// concrete (the initial publish skips planning; replans still plan).
+  SnapshotOptions base;
+  /// Candidate enumeration for ChoosePlan.
+  planner::PlannerOptions planner;
+  /// Republish after this many observed queries since the last publish;
+  /// 0 disables the every-N trigger.
+  std::int64_t replan_every = 0;
+  /// Republish when predicted-MSE(current) / predicted-MSE(best) is at
+  /// least 1 + drift_ratio; 0 disables the drift trigger.
+  double drift_ratio = 0.0;
+  /// Observed queries between drift evaluations.
+  std::int64_t drift_check_every = 256;
+  /// Run triggered replans on the manager's worker thread (readers and
+  /// the serving loop never wait on a build). False makes every replan
+  /// synchronous — deterministic transcripts for scripted sessions.
+  bool async = true;
+  /// Total epsilon the manager may spend across every publish; 0 means
+  /// unlimited. A replan that would overspend is refused and counted.
+  double epsilon_budget = 0.0;
+};
+
+/// What one trigger firing did.
+struct ReplanOutcome {
+  ReplanTrigger trigger = ReplanTrigger::kManual;
+  /// False when a drift check found the current release still best, or
+  /// when the replan failed (see status).
+  bool republished = false;
+  /// True when ChoosePlan ran (always, except a concrete-strategy
+  /// initial publish); `plan` is meaningful only then.
+  bool planned = false;
+  planner::Plan plan;
+  /// Epoch of the new snapshot when republished.
+  std::uint64_t epoch = 0;
+  std::shared_ptr<const Snapshot> snapshot;
+  /// Measured predicted-MSE ratio current/best for drift evaluations.
+  double measured_drift = 0.0;
+  Status status = Status::Ok();
+};
+
+/// Drives republishing for one QueryService over one private histogram.
+/// All public methods are thread-safe.
+class EpochManager {
+ public:
+  /// Keeps a copy of `data` (replans rebuild from it) and spends from
+  /// a deterministic seed stream derived from `seed`.
+  EpochManager(QueryService* service, Histogram data,
+               const EpochManagerOptions& options, std::uint64_t seed);
+
+  /// Joins the worker; any in-flight replan completes first.
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// First publish (synchronous). With base.strategy == kAuto, plans
+  /// against `profile` when given and non-empty, else the service's
+  /// observed traffic, else a neutral geometric sweep.
+  Result<ReplanOutcome> PublishInitial(
+      const planner::WorkloadProfile* profile = nullptr);
+
+  /// Checks the triggers against the service's observed counters and
+  /// starts (async) or performs (sync) at most one replan. Returns true
+  /// when a replan or drift check was started/performed by this call.
+  /// Cheap when nothing fires: two atomic sums and a compare.
+  bool Poll();
+
+  /// Explicit synchronous replan (the REPL `replan` command): waits for
+  /// any in-flight replan, then plans and republishes on this thread.
+  /// Fails (without publishing) when the budget would be overspent or
+  /// no candidate is feasible.
+  Result<ReplanOutcome> ReplanNow();
+
+  /// Blocks until no replan is queued or running.
+  void Drain();
+
+  /// Outcomes completed since the last call, oldest first. The serving
+  /// loop polls this to print "# planned ..." lines for async replans.
+  std::vector<ReplanOutcome> TakeCompleted();
+
+  struct Stats {
+    std::uint64_t republishes = 0;    // successful publishes incl. initial
+    std::uint64_t manual = 0;         // republishes by trigger
+    std::uint64_t every = 0;
+    std::uint64_t drift = 0;
+    std::uint64_t drift_checks = 0;   // evaluations that kept the release
+    std::uint64_t failures = 0;       // attempts that errored
+    std::uint64_t budget_refusals = 0;
+    double epsilon_spent = 0.0;
+    double epsilon_budget = 0.0;      // 0 = unlimited
+  };
+  Stats stats() const;
+
+  const EpochManagerOptions& options() const { return options_; }
+
+ private:
+  /// The full replan: export profile, ChoosePlan, drift gate, budget
+  /// gate, publish. Runs with `busy_` held (never concurrently with
+  /// itself); takes mutex_ only for short state reads/writes.
+  ReplanOutcome ExecuteReplan(ReplanTrigger trigger);
+
+  /// Records the outcome in stats_ and the completion queue. Requires
+  /// mutex_.
+  void RecordLocked(const ReplanOutcome& outcome);
+
+  /// Next publish seed from the deterministic stream. Requires mutex_.
+  std::uint64_t NextSeedLocked();
+
+  void WorkerLoop();
+
+  QueryService* service_;
+  const Histogram data_;
+  const EpochManagerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  // wakes the worker
+  std::condition_variable idle_cv_;  // wakes Drain/ReplanNow waiters
+  bool stop_ = false;
+  bool request_pending_ = false;
+  ReplanTrigger request_trigger_ = ReplanTrigger::kManual;
+  bool busy_ = false;  // a replan is executing (worker or sync caller)
+  std::vector<ReplanOutcome> completed_;
+  Stats stats_;
+  PrivacyAccountant accountant_;
+  /// Observed-query counts anchoring the every-N and drift triggers.
+  std::uint64_t count_at_last_publish_ = 0;
+  std::uint64_t count_at_last_drift_check_ = 0;
+  Rng seed_rng_;
+  std::thread worker_;  // running only when options_.async
+};
+
+}  // namespace dphist::runtime
+
+#endif  // DPHIST_RUNTIME_EPOCH_MANAGER_H_

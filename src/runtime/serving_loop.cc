@@ -1,0 +1,236 @@
+#include "runtime/serving_loop.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace dphist::runtime {
+namespace {
+
+/// Answers `count` ranges over `threads` workers in contiguous slices;
+/// each slice is one QueryBatch (single-epoch within itself). Returns
+/// the epoch of the last slice.
+std::uint64_t AnswerParallel(QueryService& service, const Interval* ranges,
+                             std::size_t count, std::int64_t threads,
+                             double* out) {
+  if (count == 0) return service.current_epoch();
+  const std::int64_t total = static_cast<std::int64_t>(count);
+  const std::int64_t slices = std::max<std::int64_t>(
+      1, std::min(ResolveThreadCount(threads), total));
+  if (slices == 1) return service.QueryBatch(ranges, count, out);
+  const std::int64_t slice_width = (total + slices - 1) / slices;
+  std::uint64_t last_epoch = 0;
+  ParallelFor(slices, slices, [&](std::int64_t slice) {
+    const std::int64_t begin = slice * slice_width;
+    const std::int64_t end = std::min(total, begin + slice_width);
+    if (begin >= end) return;
+    const std::uint64_t epoch =
+        service.QueryBatch(ranges + begin,
+                           static_cast<std::size_t>(end - begin),
+                           out + begin);
+    if (slice == slices - 1) last_epoch = epoch;
+  });
+  return last_epoch != 0 ? last_epoch : service.current_epoch();
+}
+
+/// Shared command executor; the two entry points differ only in how
+/// commands arrive and how errors are handled.
+class Executor {
+ public:
+  Executor(SessionWriter& writer, QueryService& service,
+           EpochManager& manager)
+      : writer_(writer), service_(service), manager_(manager) {}
+
+  SessionSummary& summary() { return summary_; }
+
+  /// Answers a contiguous run of ranges (a coalesced script segment or a
+  /// single command's ranges) and prints the answer lines.
+  void AnswerRun(const Interval* ranges, std::size_t count,
+                 std::int64_t threads) {
+    answers_.resize(count);
+    summary_.last_epoch =
+        AnswerParallel(service_, ranges, count, threads, answers_.data());
+    writer_.Answers(answers_.data(), count);
+    summary_.queries += count;
+  }
+
+  /// Executes one control or query command interactively. Returns a
+  /// non-OK status only for errors (the caller decides whether they are
+  /// fatal); kQuit is handled by the caller.
+  Status Execute(const SessionCommand& command, bool interactive) {
+    summary_.commands += 1;
+    switch (command.verb) {
+      case SessionVerb::kQuery:
+        AnswerRun(command.ranges.data(), command.ranges.size(), 1);
+        return Status::Ok();
+      case SessionVerb::kBatch: {
+        answers_.resize(command.ranges.size());
+        const std::uint64_t epoch = service_.QueryBatch(
+            command.ranges.data(), command.ranges.size(), answers_.data());
+        summary_.last_epoch = epoch;
+        summary_.queries += command.ranges.size();
+        writer_.Answers(answers_.data(), command.ranges.size());
+        // The receipt is what lets a transcript prove the whole batch
+        // was served under one epoch; scripts keep the pre-runtime
+        // answers-only format.
+        if (interactive) {
+          writer_.BatchReceipt(command.ranges.size(), epoch);
+        }
+        return Status::Ok();
+      }
+      case SessionVerb::kStats:
+        WriteStatsLine();
+        return Status::Ok();
+      case SessionVerb::kReplan: {
+        Result<ReplanOutcome> outcome = manager_.ReplanNow();
+        if (!outcome.ok()) return outcome.status();
+        ReportOutcome(outcome.value());
+        return Status::Ok();
+      }
+      case SessionVerb::kQuit:
+        return Status::Ok();
+    }
+    return Status::Internal("unreachable: unknown session verb");
+  }
+
+  /// Fires due triggers and announces any replans completed since the
+  /// last call (including asynchronous ones from earlier commands).
+  void PollAndReport() {
+    manager_.Poll();
+    for (const ReplanOutcome& outcome : manager_.TakeCompleted()) {
+      ReportOutcome(outcome);
+    }
+  }
+
+ private:
+  void ReportOutcome(const ReplanOutcome& outcome) {
+    if (outcome.republished) {
+      writer_.PlanNote(outcome.plan, outcome.epoch,
+                       ReplanTriggerName(outcome.trigger));
+      summary_.replans_reported += 1;
+    } else if (outcome.status.ok()) {
+      std::ostringstream text;
+      text.precision(4);
+      text << "drift check kept "
+           << StrategyKindName(outcome.plan.options.strategy)
+           << " measured=" << outcome.measured_drift;
+      writer_.Comment(text.str());
+    } else {
+      writer_.Error(outcome.status);
+    }
+  }
+
+  void WriteStatsLine() {
+    std::shared_ptr<const Snapshot> snap = service_.snapshot();
+    const AnswerCache::Stats cache = service_.cache_stats();
+    const QueryService::SwapStats swaps = service_.swap_stats();
+    const EpochManager::Stats lifecycle = manager_.stats();
+    std::ostringstream text;
+    text.precision(6);
+    text << "stats epoch=" << (snap != nullptr ? snap->epoch() : 0)
+         << " strategy="
+         << (snap != nullptr ? StrategyKindName(snap->strategy()) : "none")
+         << " shards=" << (snap != nullptr ? snap->shard_count() : 0)
+         << " queries=" << service_.observed_query_count()
+         << " publishes=" << swaps.publishes
+         << " swap_evictions=" << swaps.total_swap_evictions
+         << " replans=" << (lifecycle.manual + lifecycle.every +
+                            lifecycle.drift)
+         << " drift_checks=" << lifecycle.drift_checks
+         << " epsilon_spent=" << lifecycle.epsilon_spent
+         << " cache_hits=" << cache.hits << " cache_misses=" << cache.misses
+         << " admission_rejects=" << cache.admission_rejects
+         << " cache_size=" << service_.cache_size();
+    writer_.Comment(text.str());
+  }
+
+  SessionWriter& writer_;
+  QueryService& service_;
+  EpochManager& manager_;
+  SessionSummary summary_;
+  std::vector<double> answers_;  // reused across commands
+};
+
+}  // namespace
+
+Result<SessionSummary> RunStreamingSession(
+    std::istream& in, SessionWriter& writer, QueryService& service,
+    EpochManager& manager, const ServingLoopOptions& /*options*/) {
+  std::shared_ptr<const Snapshot> snap = service.snapshot();
+  if (snap == nullptr) {
+    return Status::FailedPrecondition(
+        "streaming session needs a published snapshot");
+  }
+  SessionReader reader(in, snap->domain_size());
+  Executor executor(writer, service, manager);
+  while (true) {
+    Result<SessionCommand> command = reader.Next();
+    if (!command.ok()) {
+      // An interactive typo should not kill a server mid-session.
+      executor.summary().parse_errors += 1;
+      writer.Error(command.status());
+      writer.Flush();
+      continue;
+    }
+    if (command.value().verb == SessionVerb::kQuit) break;
+    Status status = executor.Execute(command.value(), /*interactive=*/true);
+    if (!status.ok()) writer.Error(status);
+    executor.PollAndReport();
+    writer.Flush();
+  }
+  // Let any in-flight asynchronous replan land so the transcript ends in
+  // a deterministic state, then announce it.
+  manager.Drain();
+  executor.PollAndReport();
+  writer.Flush();
+  return executor.summary();
+}
+
+Result<SessionSummary> RunScriptedSession(
+    const std::vector<SessionCommand>& script, SessionWriter& writer,
+    QueryService& service, EpochManager& manager,
+    const ServingLoopOptions& options) {
+  if (service.snapshot() == nullptr) {
+    return Status::FailedPrecondition(
+        "scripted session needs a published snapshot");
+  }
+  Executor executor(writer, service, manager);
+  std::vector<Interval> run;  // coalesced consecutive single-range queries
+  std::size_t i = 0;
+  while (i < script.size()) {
+    const SessionVerb verb = script[i].verb;
+    if (verb == SessionVerb::kQuery) {
+      // Only single-range commands coalesce: a slice boundary can never
+      // split one, so the fan-out keeps each command single-epoch. A
+      // `qb` batch must NOT be merged — its contract is that all k
+      // ranges answer under one snapshot, which one QueryBatch call
+      // below guarantees and a re-sliced run would not.
+      run.clear();
+      std::size_t j = i;
+      while (j < script.size() && script[j].verb == SessionVerb::kQuery) {
+        run.insert(run.end(), script[j].ranges.begin(),
+                   script[j].ranges.end());
+        executor.summary().commands += 1;
+        ++j;
+      }
+      executor.AnswerRun(run.data(), run.size(), options.threads);
+      i = j;
+    } else if (verb == SessionVerb::kQuit) {
+      break;
+    } else {
+      Status status = executor.Execute(script[i], /*interactive=*/false);
+      if (!status.ok()) return status;
+      ++i;
+    }
+    executor.PollAndReport();
+  }
+  manager.Drain();
+  executor.PollAndReport();
+  return executor.summary();
+}
+
+}  // namespace dphist::runtime

@@ -1,0 +1,71 @@
+// The serving runtime's command loop: one executor for every way a
+// session reaches the server.
+//
+// RunStreamingSession drives an interactive (REPL) session: commands are
+// parsed and answered one at a time, output is flushed after every
+// command, parse errors are reported and survived, and completed
+// asynchronous replans are announced as "# planned ..." lines between
+// commands. RunScriptedSession drives a pre-parsed script (the
+// `serve --queries FILE` path): runs of consecutive single-range query
+// commands are coalesced into one flat workload and fanned out over
+// worker threads (the PR 1-3 batched path; a slice boundary can never
+// split a one-range command, so each stays single-epoch), `qb` batches
+// execute as one atomic QueryBatch to keep their one-epoch contract,
+// control commands execute between runs, and any error aborts the
+// script — the strictness workload files always had.
+//
+// Both entry points answer queries through the same QueryService calls
+// and report through the same SessionWriter, so a transcript from one
+// mode reads like the other; after every command (or coalesced run) the
+// EpochManager is polled, which is what lets the every-N and drift
+// triggers fire mid-session.
+
+#ifndef DPHIST_RUNTIME_SERVING_LOOP_H_
+#define DPHIST_RUNTIME_SERVING_LOOP_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/epoch_manager.h"
+#include "runtime/session.h"
+#include "service/query_service.h"
+
+namespace dphist::runtime {
+
+struct ServingLoopOptions {
+  /// Worker threads for a scripted session's coalesced query runs
+  /// (contiguous slices, each one single-epoch QueryBatch). Interactive
+  /// sessions answer on the calling thread — concurrency there comes
+  /// from the manager's replan worker.
+  std::int64_t threads = 1;
+};
+
+/// What a session did, for the final "# served ..." report.
+struct SessionSummary {
+  std::uint64_t queries = 0;       // ranges answered
+  std::uint64_t commands = 0;      // commands executed (incl. stats/replan)
+  std::uint64_t parse_errors = 0;  // malformed lines survived (interactive)
+  std::uint64_t replans_reported = 0;  // "# planned ..." lines emitted
+  std::uint64_t last_epoch = 0;        // epoch of the last answered batch
+};
+
+/// Interactive session: reads commands from `in` until quit/EOF.
+/// Requires a published snapshot (PublishInitial first).
+Result<SessionSummary> RunStreamingSession(std::istream& in,
+                                           SessionWriter& writer,
+                                           QueryService& service,
+                                           EpochManager& manager,
+                                           const ServingLoopOptions& options);
+
+/// Scripted session: executes `script` (see ReadSessionScript), failing
+/// on the first command error. Requires a published snapshot.
+Result<SessionSummary> RunScriptedSession(
+    const std::vector<SessionCommand>& script, SessionWriter& writer,
+    QueryService& service, EpochManager& manager,
+    const ServingLoopOptions& options);
+
+}  // namespace dphist::runtime
+
+#endif  // DPHIST_RUNTIME_SERVING_LOOP_H_

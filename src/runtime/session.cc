@@ -1,0 +1,167 @@
+#include "runtime/session.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace dphist::runtime {
+namespace {
+
+/// Error prefix matching the workload-file loader so `serve --queries`
+/// diagnostics are byte-compatible with the pre-runtime path.
+std::string LinePrefix(std::int64_t line) {
+  return "query line " + std::to_string(line) + ": ";
+}
+
+/// True when `token` is an integer literal (optionally signed) and
+/// nothing else — used to tell a bare range line from a command typo.
+bool LooksLikeInteger(const std::string& token) {
+  std::size_t i = (!token.empty() && (token[0] == '-' || token[0] == '+'))
+                      ? 1
+                      : 0;
+  if (i >= token.size()) return false;
+  for (; i < token.size(); ++i) {
+    if (token[i] < '0' || token[i] > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SessionReader::SessionReader(std::istream& in, std::int64_t domain_size)
+    : in_(in), domain_size_(domain_size) {}
+
+Result<SessionCommand> SessionReader::Next() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_;
+    // Commas are separators everywhere, as in workload files.
+    for (char& c : line) {
+      if (c == ',') c = ' ';
+    }
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;  // blank
+    if (line[first] == '#') continue;          // comment
+    std::istringstream fields(line);
+    std::string head;
+    fields >> head;
+
+    SessionCommand command;
+    if (head == "stats") {
+      command.verb = SessionVerb::kStats;
+      return command;
+    }
+    if (head == "replan") {
+      command.verb = SessionVerb::kReplan;
+      return command;
+    }
+    if (head == "quit") {
+      command.verb = SessionVerb::kQuit;
+      return command;
+    }
+
+    auto read_range = [&](Interval* out) -> Status {
+      std::int64_t lo = 0;
+      std::int64_t hi = 0;
+      if (!(fields >> lo) || !(fields >> hi)) {
+        return Status::InvalidArgument(LinePrefix(line_) +
+                                       "expected \"lo hi\"");
+      }
+      if (lo > hi || lo < 0 || hi >= domain_size_) {
+        return Status::OutOfRange(LinePrefix(line_) + "range out of bounds");
+      }
+      *out = Interval(lo, hi);
+      return Status::Ok();
+    };
+
+    if (head == "q") {
+      command.verb = SessionVerb::kQuery;
+      command.ranges.resize(1, Interval(0, 0));
+      Status s = read_range(&command.ranges[0]);
+      if (!s.ok()) return s;
+      return command;
+    }
+    if (head == "qb") {
+      std::int64_t k = 0;
+      if (!(fields >> k) || k < 1) {
+        return Status::InvalidArgument(LinePrefix(line_) +
+                                       "qb expects a positive batch size");
+      }
+      if (k > kMaxBatch) {
+        return Status::InvalidArgument(LinePrefix(line_) +
+                                       "qb batch size exceeds " +
+                                       std::to_string(kMaxBatch));
+      }
+      command.verb = SessionVerb::kBatch;
+      command.ranges.resize(static_cast<std::size_t>(k), Interval(0, 0));
+      for (Interval& range : command.ranges) {
+        Status s = read_range(&range);
+        if (!s.ok()) return s;
+      }
+      return command;
+    }
+    if (LooksLikeInteger(head)) {
+      // Bare workload-file line: "lo hi". Re-parse from the start so the
+      // diagnostics match the explicit-verb path.
+      std::istringstream bare(line);
+      fields.swap(bare);
+      command.verb = SessionVerb::kQuery;
+      command.ranges.resize(1, Interval(0, 0));
+      Status s = read_range(&command.ranges[0]);
+      if (!s.ok()) return s;
+      return command;
+    }
+    // Matches the historical non-numeric-token diagnostic closely enough
+    // that scripts looking for "line N" keep working.
+    return Status::InvalidArgument("query line " + std::to_string(line_) +
+                                   ": unknown command \"" + head + "\"");
+  }
+  SessionCommand quit;
+  quit.verb = SessionVerb::kQuit;
+  return quit;
+}
+
+Result<std::vector<SessionCommand>> ReadSessionScript(
+    std::istream& in, std::int64_t domain_size) {
+  SessionReader reader(in, domain_size);
+  std::vector<SessionCommand> script;
+  while (true) {
+    Result<SessionCommand> command = reader.Next();
+    if (!command.ok()) return command.status();
+    if (command.value().verb == SessionVerb::kQuit) return script;
+    script.push_back(std::move(command).value());
+  }
+}
+
+void SessionWriter::Answers(const double* values, std::size_t count) {
+  const std::streamsize old_precision = out_.precision(15);
+  for (std::size_t i = 0; i < count; ++i) out_ << values[i] << "\n";
+  out_.precision(old_precision);
+}
+
+void SessionWriter::BatchReceipt(std::size_t count, std::uint64_t epoch) {
+  out_ << "# batch n=" << count << " epoch=" << epoch << "\n";
+}
+
+void SessionWriter::PlanNote(const planner::Plan& plan, std::uint64_t epoch,
+                             const char* reason) {
+  const std::streamsize old_precision = out_.precision(6);
+  out_ << "# planned strategy=" << StrategyKindName(plan.options.strategy)
+       << " shards=" << plan.options.shards << " epoch=" << epoch
+       << " reason=" << reason
+       << " predicted_mean_var=" << plan.predicted_mean_variance << "\n";
+  out_.precision(old_precision);
+}
+
+void SessionWriter::Comment(const std::string& text) {
+  out_ << "# " << text << "\n";
+}
+
+void SessionWriter::Error(const Status& status) {
+  out_ << "error: " << status.ToString() << "\n";
+}
+
+void SessionWriter::Flush() { out_.flush(); }
+
+}  // namespace dphist::runtime

@@ -1,0 +1,124 @@
+// Streaming session line protocol for the serving runtime.
+//
+// One grammar powers every way queries reach a long-lived server —
+// `dphist serve --stdin` (interactive REPL), scripted transcripts piped
+// through stdin, and the classic workload files `serve --queries`
+// consumed before this subsystem existed. A session is a sequence of
+// newline-terminated commands over any std::istream:
+//
+//   lo hi                answer one range (bare workload-file form;
+//                        commas work: "lo,hi")
+//   q lo hi              same, explicit verb
+//   qb k lo hi lo hi ... answer k ranges as ONE batch: all k are served
+//                        against the single snapshot current at the
+//                        batch's start (one epoch, one release)
+//   stats                report serving counters as a "# stats ..." line
+//   replan               force a synchronous replan + republish (spends
+//                        a fresh epsilon)
+//   quit                 end the session (EOF is an implicit quit)
+//   # anything           comment, ignored; blank lines are ignored
+//
+// SessionReader parses commands one at a time with line-numbered errors
+// (the same messages the workload-file loader produced, so `serve
+// --queries` diagnostics are unchanged). SessionWriter owns the answer
+// and "# ..." report formatting shared by the streaming REPL and the
+// batch driver, so transcripts from either mode look alike.
+
+#ifndef DPHIST_RUNTIME_SESSION_H_
+#define DPHIST_RUNTIME_SESSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "domain/interval.h"
+#include "planner/planner.h"
+
+namespace dphist::runtime {
+
+/// What a session line asks the server to do.
+enum class SessionVerb {
+  kQuery,   // one range (bare "lo hi" or "q lo hi")
+  kBatch,   // "qb k ..." — k ranges answered as one single-epoch batch
+  kStats,   // "stats"
+  kReplan,  // "replan"
+  kQuit,    // "quit" or end of stream
+};
+
+/// One parsed command.
+struct SessionCommand {
+  SessionVerb verb = SessionVerb::kQuit;
+  /// kQuery: exactly one range; kBatch: the k ranges; empty otherwise.
+  std::vector<Interval> ranges;
+};
+
+/// Incremental command parser over a line stream.
+class SessionReader {
+ public:
+  /// Largest k a `qb` line may carry; a cap, not a target — it only
+  /// exists so a malformed count cannot ask the server to reserve
+  /// gigabytes.
+  static constexpr std::int64_t kMaxBatch = 1 << 20;
+
+  /// Ranges are validated against [0, domain_size).
+  SessionReader(std::istream& in, std::int64_t domain_size);
+
+  /// Parses the next command; kQuit at end of stream. A malformed line
+  /// returns a Status naming the 1-based line number and leaves the
+  /// reader usable (the next call parses the following line), so an
+  /// interactive session can report the error and keep serving.
+  Result<SessionCommand> Next();
+
+  /// 1-based number of the last line consumed.
+  std::int64_t line() const { return line_; }
+
+ private:
+  std::istream& in_;
+  std::int64_t domain_size_;
+  std::int64_t line_ = 0;
+};
+
+/// Reads a whole session script up front (the `serve --queries` file
+/// path): every command until quit/EOF, failing on the first malformed
+/// line. Control commands (stats/replan) are legal in files too.
+Result<std::vector<SessionCommand>> ReadSessionScript(
+    std::istream& in, std::int64_t domain_size);
+
+/// Formats session output: answer lines at full precision plus the
+/// "# ..." report lines both serving modes share.
+class SessionWriter {
+ public:
+  explicit SessionWriter(std::ostream& out) : out_(out) {}
+
+  /// One answer per line, 15 significant digits (round-trips every
+  /// integral count a double holds exactly).
+  void Answers(const double* values, std::size_t count);
+
+  /// "# batch n=K epoch=E" — the single-epoch receipt after a `qb`.
+  void BatchReceipt(std::size_t count, std::uint64_t epoch);
+
+  /// "# planned strategy=S shards=K epoch=E reason=R
+  ///  predicted_mean_var=V" — emitted whenever a (re)plan publishes.
+  void PlanNote(const planner::Plan& plan, std::uint64_t epoch,
+                const char* reason);
+
+  /// "# <text>"
+  void Comment(const std::string& text);
+
+  /// "error: <status>" — interactive sessions keep serving after this.
+  void Error(const Status& status);
+
+  void Flush();
+
+  std::ostream& stream() { return out_; }
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace dphist::runtime
+
+#endif  // DPHIST_RUNTIME_SESSION_H_

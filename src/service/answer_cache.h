@@ -83,6 +83,13 @@ class AnswerCache {
   /// Entries currently cached, summed over lock shards.
   std::int64_t size() const;
 
+  /// Records `count` computed answers the admission policy kept out of
+  /// the cache (Snapshot::AdmitToCache said recomputing is as cheap as a
+  /// hit). Pure bookkeeping — shows up as stats().admission_rejects.
+  void NoteAdmissionRejects(std::uint64_t count) {
+    admission_rejects_.fetch_add(count, std::memory_order_relaxed);
+  }
+
   /// Monotonic counters; cheap relaxed atomics, safe to read anytime.
   struct Stats {
     std::uint64_t hits = 0;
@@ -90,6 +97,7 @@ class AnswerCache {
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;        // LRU capacity evictions
     std::uint64_t epoch_evictions = 0;  // proactive EvictOlderEpochs drops
+    std::uint64_t admission_rejects = 0;  // answers kept out by admission
   };
   Stats stats() const;
 
@@ -130,6 +138,7 @@ class AnswerCache {
   std::atomic<std::uint64_t> insertions_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> epoch_evictions_{0};
+  std::atomic<std::uint64_t> admission_rejects_{0};
 };
 
 }  // namespace dphist

@@ -13,7 +13,20 @@ namespace dphist {
 
 QueryService::QueryService(const QueryServiceOptions& options)
     : cache_(options.cache_capacity, options.cache_lock_shards),
-      planner_options_(options.planner) {}
+      planner_options_(options.planner) {
+  if (options.observed_reservoir > 0) {
+    // Spread the capacity over the stripes (ceil, so it is never lost to
+    // rounding); each stripe samples its own sub-stream and
+    // ObservedWorkload merges them with per-stripe weights.
+    const std::size_t per_stripe =
+        (static_cast<std::size_t>(options.observed_reservoir) +
+         kLengthStripes - 1) /
+        kLengthStripes;
+    for (auto& stripe : reservoirs_) {
+      stripe = std::make_unique<ReservoirStripe>(per_stripe);
+    }
+  }
+}
 
 Result<std::shared_ptr<const Snapshot>> QueryService::Publish(
     const Histogram& data, const SnapshotOptions& options,
@@ -50,8 +63,24 @@ Result<std::shared_ptr<const Snapshot>> QueryService::Publish(
   // old epoch, and a concurrent re-insert of such an entry is dropped at
   // the next swap); purge them now instead of letting them squat on LRU
   // capacity until they age out.
-  cache_.EvictOlderEpochs(epoch);
+  const std::int64_t evicted = cache_.EvictOlderEpochs(epoch);
+  {
+    std::lock_guard<std::mutex> stats_lock(swap_stats_mutex_);
+    swap_stats_.publishes += 1;
+    swap_stats_.last_epoch = epoch;
+    swap_stats_.last_swap_evictions = evicted;
+    swap_stats_.total_swap_evictions += evicted;
+  }
   return built;
+}
+
+Result<std::shared_ptr<const Snapshot>> QueryService::PublishFromPlan(
+    const Histogram& data, const planner::Plan& plan, std::uint64_t seed) {
+  if (plan.options.strategy == StrategyKind::kAuto) {
+    return Status::InvalidArgument(
+        "PublishFromPlan needs a resolved plan (strategy is still auto)");
+  }
+  return Publish(data, plan.options, seed);
 }
 
 std::uint64_t QueryService::QueryBatch(const Interval* ranges,
@@ -62,14 +91,22 @@ std::uint64_t QueryService::QueryBatch(const Interval* ranges,
   // Feed the observed-workload histogram the planner consumes: one
   // relaxed increment per query, on this thread's counter stripe — no
   // locks, no heap, and no hot cache line shared across readers.
-  auto& stripe =
-      observed_lengths_[std::hash<std::thread::id>{}(
-                            std::this_thread::get_id()) %
-                        kLengthStripes];
+  const std::size_t stripe_index =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kLengthStripes;
+  auto& stripe = observed_lengths_[stripe_index];
   for (std::size_t i = 0; i < count; ++i) {
     const auto length = static_cast<std::uint64_t>(ranges[i].Length());
     stripe[static_cast<std::size_t>(std::bit_width(length)) - 1].fetch_add(
         1, std::memory_order_relaxed);
+  }
+  if (reservoirs_[stripe_index] != nullptr) {
+    // Optional exact-length sampling (one short lock per batch): keeps
+    // raw (lo, hi) pairs so a replan from observation can match a
+    // replan from the raw workload instead of bucket midpoints.
+    ReservoirStripe& res = *reservoirs_[stripe_index];
+    std::lock_guard<std::mutex> lock(res.mutex);
+    for (std::size_t i = 0; i < count; ++i) res.reservoir.Observe(ranges[i]);
   }
   if (!cache_.enabled()) {
     snap->RangeCountsInto(ranges, count, out);
@@ -77,20 +114,30 @@ std::uint64_t QueryService::QueryBatch(const Interval* ranges,
   }
   const std::uint64_t epoch = snap->epoch();
   constexpr std::size_t kChunk = 64;
+  std::uint64_t admission_rejects = 0;
   for (std::size_t base = 0; base < count; base += kChunk) {
     const std::size_t chunk = std::min(kChunk, count - base);
     bool hit[kChunk];
     cache_.LookupMany(epoch, ranges + base, chunk, out + base, hit);
-    bool missed = false;
+    bool insert_any = false;
     for (std::size_t i = 0; i < chunk; ++i) {
       if (hit[i]) continue;
       out[base + i] = snap->RangeCount(ranges[base + i]);
-      missed = true;
+      // Admission policy: answers as cheap to recompute as a cache hit
+      // never enter the cache — marking them "hit" makes InsertMany
+      // skip them, preserving capacity for expensive ranges.
+      if (snap->AdmitToCache(ranges[base + i])) {
+        insert_any = true;
+      } else {
+        hit[i] = true;
+        ++admission_rejects;
+      }
     }
-    if (missed) {
+    if (insert_any) {
       cache_.InsertMany(epoch, ranges + base, out + base, chunk, hit);
     }
   }
+  if (admission_rejects > 0) cache_.NoteAdmissionRejects(admission_rejects);
   return epoch;
 }
 
@@ -101,6 +148,18 @@ std::uint64_t QueryService::Query(const Interval& range, double* out) const {
 planner::WorkloadProfile QueryService::ObservedWorkload(
     std::int64_t domain_size) const {
   planner::WorkloadProfile profile(domain_size);
+  if (reservoirs_[0] != nullptr) {
+    // Exact-length path: merge the per-stripe reservoirs. Each stripe
+    // contributes its sample weighted by its own seen/|sample|, so the
+    // merged profile is an unbiased length histogram of the full stream.
+    for (const auto& stripe : reservoirs_) {
+      std::lock_guard<std::mutex> lock(stripe->mutex);
+      stripe->reservoir.AddTo(&profile);
+    }
+    if (!profile.empty()) return profile;
+    // Nothing sampled yet — fall through to the bucketed counters
+    // (always empty too in that case, returning an empty profile).
+  }
   for (std::size_t b = 0; b < kLengthBuckets; ++b) {
     std::uint64_t seen = 0;
     for (std::size_t s = 0; s < kLengthStripes; ++s) {
@@ -116,10 +175,25 @@ planner::WorkloadProfile QueryService::ObservedWorkload(
   return profile;
 }
 
+std::uint64_t QueryService::observed_query_count() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < kLengthStripes; ++s) {
+    for (std::size_t b = 0; b < kLengthBuckets; ++b) {
+      total += observed_lengths_[s][b].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
 std::uint64_t QueryService::current_epoch() const {
   std::shared_ptr<const Snapshot> snap =
       snapshot_.load(std::memory_order_acquire);
   return snap == nullptr ? 0 : snap->epoch();
+}
+
+QueryService::SwapStats QueryService::swap_stats() const {
+  std::lock_guard<std::mutex> lock(swap_stats_mutex_);
+  return swap_stats_;
 }
 
 }  // namespace dphist

@@ -56,6 +56,13 @@ struct QueryServiceOptions {
   std::int64_t cache_lock_shards = 16;
   /// Candidate enumeration used when a publish must resolve kAuto.
   planner::PlannerOptions planner;
+  /// Capacity of the exact-length query reservoir sampled from answered
+  /// traffic (spread over the counter stripes). 0 disables it: the
+  /// observed profile then only knows log2-bucketed lengths, and a
+  /// replan from observation can differ from one given the raw workload
+  /// (see planner::QueryReservoir). Enabling it adds one short
+  /// mutex-protected reservoir update per answered query.
+  std::int64_t observed_reservoir = 0;
 };
 
 /// Concurrent range-count server over atomically swappable snapshots.
@@ -82,6 +89,13 @@ class QueryService {
       std::uint64_t seed,
       const planner::WorkloadProfile* workload = nullptr);
 
+  /// Publishes the configuration a planner already chose (plan.options
+  /// is concrete and ready for Snapshot::Build). The hook the runtime's
+  /// EpochManager uses: it runs ChoosePlan itself — off the serving
+  /// thread — and hands the decision here, so Publish never re-plans.
+  Result<std::shared_ptr<const Snapshot>> PublishFromPlan(
+      const Histogram& data, const planner::Plan& plan, std::uint64_t seed);
+
   /// The currently published snapshot; null before the first Publish.
   std::shared_ptr<const Snapshot> snapshot() const {
     return snapshot_.load(std::memory_order_acquire);
@@ -107,6 +121,10 @@ class QueryService {
   /// domain). Empty when nothing has been answered yet.
   planner::WorkloadProfile ObservedWorkload(std::int64_t domain_size) const;
 
+  /// Total queries answered so far (sums the length-counter stripes).
+  /// The EpochManager's every-N and drift triggers anchor on this.
+  std::uint64_t observed_query_count() const;
+
   bool cache_enabled() const { return cache_.enabled(); }
   AnswerCache::Stats cache_stats() const { return cache_.stats(); }
 
@@ -115,6 +133,15 @@ class QueryService {
 
   /// Epoch of the current snapshot; 0 before the first Publish.
   std::uint64_t current_epoch() const;
+
+  /// Publish/swap lifecycle counters for the runtime's stats surface.
+  struct SwapStats {
+    std::uint64_t publishes = 0;        // successful snapshot swaps
+    std::uint64_t last_epoch = 0;       // epoch of the latest swap
+    std::int64_t last_swap_evictions = 0;   // stale entries purged by it
+    std::int64_t total_swap_evictions = 0;  // across every swap
+  };
+  SwapStats swap_stats() const;
 
  private:
   /// floor(log2(length)) buckets; 63 covers any int64 length.
@@ -129,6 +156,10 @@ class QueryService {
   /// Serializes publishers so epochs increase in publish order.
   std::mutex publish_mutex_;
   std::uint64_t last_epoch_ = 0;
+  /// Guards swap_stats_ alone — publish_mutex_ is held across an entire
+  /// Snapshot::Build, and a stats read must never wait on a build.
+  mutable std::mutex swap_stats_mutex_;
+  SwapStats swap_stats_;
   std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
   /// observed_lengths_[s][b] counts answered queries with
   /// 2^b <= length < 2^(b+1) recorded by stripe s; relaxed increments
@@ -136,6 +167,15 @@ class QueryService {
   mutable std::array<std::array<std::atomic<std::uint64_t>, kLengthBuckets>,
                      kLengthStripes>
       observed_lengths_{};
+  /// Optional exact-length sampling beside the buckets: one reservoir
+  /// per counter stripe (same stripe selection), each behind its own
+  /// mutex so concurrent readers rarely contend. Null when disabled.
+  struct ReservoirStripe {
+    std::mutex mutex;
+    planner::QueryReservoir reservoir;
+    explicit ReservoirStripe(std::size_t capacity) : reservoir(capacity) {}
+  };
+  std::array<std::unique_ptr<ReservoirStripe>, kLengthStripes> reservoirs_;
 };
 
 }  // namespace dphist

@@ -118,8 +118,12 @@ Result<std::shared_ptr<const Snapshot>> Snapshot::Build(
                     BuildShard(SliceHistogram(data, lo, hi), options,
                                &shard_rngs[static_cast<std::size_t>(i)]);
               });
-  return std::shared_ptr<const Snapshot>(
-      new Snapshot(options, epoch, n, width, std::move(shards)));
+  bool unit_range_is_o1 = true;
+  for (const std::unique_ptr<RangeCountEstimator>& shard : shards) {
+    unit_range_is_o1 = unit_range_is_o1 && shard->UnitRangeIsO1();
+  }
+  return std::shared_ptr<const Snapshot>(new Snapshot(
+      options, epoch, n, width, std::move(shards), unit_range_is_o1));
 }
 
 const RangeCountEstimator& Snapshot::shard(std::int64_t index) const {

@@ -107,6 +107,16 @@ class Snapshot {
   /// The shard estimators, in domain order.
   const RangeCountEstimator& shard(std::int64_t index) const;
 
+  /// Cache admission policy: false when `range` is so cheap to recompute
+  /// from this release that memoizing it wastes LRU capacity. Today that
+  /// means unit ranges on snapshots whose every shard answers them in
+  /// O(1) — L~ (a leaf read) and consistent H-bar (a prefix difference).
+  /// QueryService::QueryBatch consults this before inserting misses and
+  /// counts the skips as admission_rejects.
+  bool AdmitToCache(const Interval& range) const {
+    return range.Length() > 1 || !unit_range_is_o1_;
+  }
+
   /// Estimated count for `range` (must lie within [0, domain_size)).
   /// Sums clipped per-shard answers; no heap allocation.
   double RangeCount(const Interval& range) const;
@@ -120,18 +130,22 @@ class Snapshot {
  private:
   Snapshot(SnapshotOptions options, std::uint64_t epoch,
            std::int64_t domain_size, std::int64_t shard_width,
-           std::vector<std::unique_ptr<RangeCountEstimator>> shards)
+           std::vector<std::unique_ptr<RangeCountEstimator>> shards,
+           bool unit_range_is_o1)
       : options_(options),
         epoch_(epoch),
         domain_size_(domain_size),
         shard_width_(shard_width),
-        shards_(std::move(shards)) {}
+        shards_(std::move(shards)),
+        unit_range_is_o1_(unit_range_is_o1) {}
 
   SnapshotOptions options_;
   std::uint64_t epoch_;
   std::int64_t domain_size_;
   std::int64_t shard_width_;
   std::vector<std::unique_ptr<RangeCountEstimator>> shards_;
+  /// Every shard answers a unit range in O(1) (drives AdmitToCache).
+  bool unit_range_is_o1_;
 };
 
 }  // namespace dphist

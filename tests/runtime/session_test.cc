@@ -1,0 +1,137 @@
+#include "runtime/session.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace dphist::runtime {
+namespace {
+
+Result<SessionCommand> ParseOne(const std::string& text,
+                                std::int64_t domain = 64) {
+  std::istringstream in(text);
+  SessionReader reader(in, domain);
+  return reader.Next();
+}
+
+TEST(SessionReaderTest, ParsesBareRangeLikeAWorkloadFile) {
+  auto command = ParseOne("3 9\n");
+  ASSERT_TRUE(command.ok());
+  EXPECT_EQ(command.value().verb, SessionVerb::kQuery);
+  ASSERT_EQ(command.value().ranges.size(), 1u);
+  EXPECT_EQ(command.value().ranges[0].lo(), 3);
+  EXPECT_EQ(command.value().ranges[0].hi(), 9);
+
+  auto comma = ParseOne("3,9\n");
+  ASSERT_TRUE(comma.ok());
+  EXPECT_EQ(comma.value().ranges[0].hi(), 9);
+}
+
+TEST(SessionReaderTest, ParsesExplicitVerbs) {
+  auto q = ParseOne("q 0 5\n");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().verb, SessionVerb::kQuery);
+
+  auto qb = ParseOne("qb 3 0 0 1 4 2 2\n");
+  ASSERT_TRUE(qb.ok());
+  EXPECT_EQ(qb.value().verb, SessionVerb::kBatch);
+  ASSERT_EQ(qb.value().ranges.size(), 3u);
+  EXPECT_EQ(qb.value().ranges[1].lo(), 1);
+  EXPECT_EQ(qb.value().ranges[1].hi(), 4);
+
+  EXPECT_EQ(ParseOne("stats\n").value().verb, SessionVerb::kStats);
+  EXPECT_EQ(ParseOne("replan\n").value().verb, SessionVerb::kReplan);
+  EXPECT_EQ(ParseOne("quit\n").value().verb, SessionVerb::kQuit);
+  EXPECT_EQ(ParseOne("").value().verb, SessionVerb::kQuit);  // EOF
+}
+
+TEST(SessionReaderTest, SkipsBlanksAndComments) {
+  std::istringstream in("\n# a comment\n   \n7 8\n");
+  SessionReader reader(in, 64);
+  auto command = reader.Next();
+  ASSERT_TRUE(command.ok());
+  EXPECT_EQ(command.value().verb, SessionVerb::kQuery);
+  EXPECT_EQ(reader.line(), 4);
+}
+
+TEST(SessionReaderTest, ErrorsCarryLineNumbersAndMatchLegacyMessages) {
+  // The pre-runtime workload loader's messages are load-bearing: CLI
+  // tests and user scripts grep for them.
+  auto malformed = ParseOne("7\n");
+  EXPECT_FALSE(malformed.ok());
+  EXPECT_NE(malformed.status().message().find("query line 1"),
+            std::string::npos);
+  EXPECT_NE(malformed.status().message().find("expected \"lo hi\""),
+            std::string::npos);
+
+  std::istringstream in("0 5\n5 99\n");
+  SessionReader reader(in, 64);
+  ASSERT_TRUE(reader.Next().ok());
+  auto oob = reader.Next();
+  EXPECT_FALSE(oob.ok());
+  EXPECT_EQ(oob.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(oob.status().message().find("line 2"), std::string::npos);
+
+  auto unknown = ParseOne("frobnicate 1 2\n");
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(unknown.status().message().find("unknown command"),
+            std::string::npos);
+}
+
+TEST(SessionReaderTest, SurvivesAMalformedLine) {
+  // Interactive sessions report the error and keep serving: the reader
+  // must stay usable after a failed Next().
+  std::istringstream in("bogus\nq 1 2\n");
+  SessionReader reader(in, 64);
+  EXPECT_FALSE(reader.Next().ok());
+  auto next = reader.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value().verb, SessionVerb::kQuery);
+  EXPECT_EQ(next.value().ranges[0].lo(), 1);
+}
+
+TEST(SessionReaderTest, ValidatesBatchShape) {
+  EXPECT_FALSE(ParseOne("qb 0\n").ok());
+  EXPECT_FALSE(ParseOne("qb -3 0 0\n").ok());
+  EXPECT_FALSE(ParseOne("qb 2 0 0\n").ok());  // missing second pair
+  auto oversized = ParseOne("qb 99999999 0 0\n");
+  EXPECT_FALSE(oversized.ok());
+  EXPECT_NE(oversized.status().message().find("exceeds"),
+            std::string::npos);
+}
+
+TEST(SessionScriptTest, ReadsWholeScriptsAndStopsAtQuit) {
+  std::istringstream in("0 5\nqb 2 0 0 1 1\nstats\nreplan\nquit\n8 8\n");
+  auto script = ReadSessionScript(in, 64);
+  ASSERT_TRUE(script.ok());
+  ASSERT_EQ(script.value().size(), 4u);  // quit strips the tail
+  EXPECT_EQ(script.value()[0].verb, SessionVerb::kQuery);
+  EXPECT_EQ(script.value()[1].verb, SessionVerb::kBatch);
+  EXPECT_EQ(script.value()[2].verb, SessionVerb::kStats);
+  EXPECT_EQ(script.value()[3].verb, SessionVerb::kReplan);
+}
+
+TEST(SessionScriptTest, PropagatesTheFirstError) {
+  std::istringstream in("0 5\nxx 1\n");
+  auto script = ReadSessionScript(in, 64);
+  EXPECT_FALSE(script.ok());
+  EXPECT_NE(script.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(SessionWriterTest, FormatsAnswersAndReports) {
+  std::ostringstream out;
+  SessionWriter writer(out);
+  const double answers[] = {1234567.0, 2.5};
+  writer.Answers(answers, 2);
+  writer.BatchReceipt(2, 7);
+  writer.Comment("hello");
+  writer.Error(Status::InvalidArgument("bad"));
+  EXPECT_EQ(out.str(),
+            "1234567\n2.5\n# batch n=2 epoch=7\n# hello\n"
+            "error: InvalidArgument: bad\n");
+}
+
+}  // namespace
+}  // namespace dphist::runtime

@@ -305,5 +305,166 @@ TEST(QueryServiceTest, ConcurrentSwapsServeSingleEpochBatches) {
   EXPECT_EQ(service.current_epoch(), kEpochs);
 }
 
+TEST(QueryServiceTest, AdmissionKeepsO1UnitAnswersOutOfTheCache) {
+  // L~ answers a unit range with one leaf read — recomputing is as
+  // cheap as a cache hit, so the admission policy must never let those
+  // answers consume LRU capacity.
+  Histogram data = TestData(64);
+  QueryServiceOptions service_options;
+  service_options.cache_capacity = 256;
+  QueryService service(service_options);
+  SnapshotOptions options;
+  options.strategy = StrategyKind::kLTilde;
+  ASSERT_TRUE(service.Publish(data, options, 1).ok());
+
+  std::vector<Interval> units;
+  for (std::int64_t i = 0; i < 32; ++i) units.emplace_back(i, i);
+  std::vector<double> answers(units.size());
+  service.QueryBatch(units.data(), units.size(), answers.data());
+  EXPECT_EQ(service.cache_size(), 0);
+  EXPECT_EQ(service.cache_stats().insertions, 0u);
+  EXPECT_EQ(service.cache_stats().admission_rejects, 32u);
+
+  // Multi-position ranges are expensive (O(length) for L~) and are
+  // still cached and hit.
+  std::vector<Interval> ranges = {Interval(0, 31), Interval(8, 60)};
+  std::vector<double> range_answers(ranges.size());
+  service.QueryBatch(ranges.data(), ranges.size(), range_answers.data());
+  EXPECT_EQ(service.cache_size(), 2);
+  const std::uint64_t hits_before = service.cache_stats().hits;
+  service.QueryBatch(ranges.data(), ranges.size(), range_answers.data());
+  EXPECT_EQ(service.cache_stats().hits, hits_before + 2);
+}
+
+TEST(QueryServiceTest, AdmissionAppliesOnlyToO1Snapshots) {
+  // H~ walks a subtree decomposition even for a unit range, so its unit
+  // answers are worth caching: same traffic, zero admission rejects.
+  Histogram data = TestData(64);
+  QueryServiceOptions service_options;
+  service_options.cache_capacity = 256;
+  QueryService service(service_options);
+  SnapshotOptions options;
+  options.strategy = StrategyKind::kHTilde;
+  ASSERT_TRUE(service.Publish(data, options, 1).ok());
+
+  std::vector<Interval> units;
+  for (std::int64_t i = 0; i < 16; ++i) units.emplace_back(i, i);
+  std::vector<double> answers(units.size());
+  service.QueryBatch(units.data(), units.size(), answers.data());
+  EXPECT_EQ(service.cache_size(), 16);
+  EXPECT_EQ(service.cache_stats().admission_rejects, 0u);
+}
+
+TEST(QueryServiceTest, AdmissionPreservesCapacityForExpensiveRanges) {
+  // The point of the policy: a flood of unit queries on an O(1)-unit
+  // snapshot must not evict the expensive range answers already cached.
+  Histogram data = TestData(256);
+  QueryServiceOptions service_options;
+  service_options.cache_capacity = 4;
+  service_options.cache_lock_shards = 1;  // one LRU, deterministic order
+  QueryService service(service_options);
+  SnapshotOptions options;
+  options.strategy = StrategyKind::kLTilde;
+  ASSERT_TRUE(service.Publish(data, options, 1).ok());
+
+  std::vector<Interval> ranges = {Interval(0, 99), Interval(50, 249),
+                                  Interval(10, 200), Interval(3, 77)};
+  std::vector<double> answers(ranges.size());
+  service.QueryBatch(ranges.data(), ranges.size(), answers.data());
+  EXPECT_EQ(service.cache_size(), 4);
+
+  std::vector<Interval> units;
+  for (std::int64_t i = 0; i < 200; ++i) units.emplace_back(i, i);
+  std::vector<double> unit_answers(units.size());
+  service.QueryBatch(units.data(), units.size(), unit_answers.data());
+
+  // Every expensive range is still resident: the replay is pure hits.
+  const std::uint64_t hits_before = service.cache_stats().hits;
+  service.QueryBatch(ranges.data(), ranges.size(), answers.data());
+  EXPECT_EQ(service.cache_stats().hits, hits_before + 4);
+  EXPECT_EQ(service.cache_stats().evictions, 0u);
+  EXPECT_EQ(service.cache_stats().admission_rejects, 200u);
+}
+
+TEST(QueryServiceTest, ObservedQueryCountSumsAllTraffic) {
+  Histogram data = TestData(64);
+  QueryService service;
+  ASSERT_TRUE(service.Publish(data, SnapshotOptions(), 1).ok());
+  EXPECT_EQ(service.observed_query_count(), 0u);
+  std::vector<Interval> workload = ProbeWorkload(64, 37, 3);
+  std::vector<double> answers(workload.size());
+  service.QueryBatch(workload.data(), workload.size(), answers.data());
+  EXPECT_EQ(service.observed_query_count(), 37u);
+  double out = 0.0;
+  service.Query(Interval(0, 5), &out);
+  EXPECT_EQ(service.observed_query_count(), 38u);
+}
+
+TEST(QueryServiceTest, SwapStatsTrackPublishesAndEvictions) {
+  Histogram data = TestData(64);
+  QueryServiceOptions service_options;
+  service_options.cache_capacity = 128;
+  QueryService service(service_options);
+  EXPECT_EQ(service.swap_stats().publishes, 0u);
+  ASSERT_TRUE(service.Publish(data, SnapshotOptions(), 1).ok());
+
+  std::vector<Interval> workload = ProbeWorkload(64, 20, 11);
+  std::vector<double> answers(workload.size());
+  service.QueryBatch(workload.data(), workload.size(), answers.data());
+  const std::int64_t cached = service.cache_size();
+  ASSERT_GT(cached, 0);
+
+  ASSERT_TRUE(service.Publish(data, SnapshotOptions(), 2).ok());
+  QueryService::SwapStats swaps = service.swap_stats();
+  EXPECT_EQ(swaps.publishes, 2u);
+  EXPECT_EQ(swaps.last_epoch, 2u);
+  EXPECT_EQ(swaps.last_swap_evictions, cached);
+  EXPECT_EQ(swaps.total_swap_evictions, cached);
+}
+
+TEST(QueryServiceTest, ReservoirMakesObservedProfileLengthExact) {
+  // The divergence case from the ROADMAP: a stream of length-3 queries
+  // is bucketed into [2, 4) and reported at representative length 2,
+  // so a replan from observation differs from one given the raw
+  // workload. With the reservoir on, the observed profile carries the
+  // exact lengths and the two replans see identical inputs.
+  Histogram data = TestData(64);
+  std::vector<Interval> workload;
+  for (std::int64_t i = 0; i < 20; ++i) workload.emplace_back(i, i + 2);
+  std::vector<double> answers(workload.size());
+
+  QueryServiceOptions bucketed_options;
+  QueryService bucketed(bucketed_options);
+  ASSERT_TRUE(bucketed.Publish(data, SnapshotOptions(), 1).ok());
+  bucketed.QueryBatch(workload.data(), workload.size(), answers.data());
+  planner::WorkloadProfile bucketed_profile = bucketed.ObservedWorkload(64);
+  EXPECT_DOUBLE_EQ(bucketed_profile.length_weights().at(2), 20.0);
+  EXPECT_EQ(bucketed_profile.length_weights().count(3), 0u);
+
+  QueryServiceOptions exact_options;
+  exact_options.observed_reservoir = 256;  // holds the whole stream
+  QueryService exact(exact_options);
+  ASSERT_TRUE(exact.Publish(data, SnapshotOptions(), 1).ok());
+  exact.QueryBatch(workload.data(), workload.size(), answers.data());
+  planner::WorkloadProfile exact_profile = exact.ObservedWorkload(64);
+  EXPECT_DOUBLE_EQ(exact_profile.length_weights().at(3), 20.0);
+  EXPECT_DOUBLE_EQ(exact_profile.total_weight(), 20.0);
+
+  // Replan-from-observation now equals replan-from-the-raw-workload.
+  planner::WorkloadProfile raw(64);
+  for (const Interval& query : workload) raw.AddQuery(query);
+  SnapshotOptions base;
+  auto from_observation = planner::ChoosePlan(exact_profile, base);
+  auto from_raw = planner::ChoosePlan(raw, base);
+  ASSERT_TRUE(from_observation.ok());
+  ASSERT_TRUE(from_raw.ok());
+  EXPECT_EQ(from_observation.value().options.strategy,
+            from_raw.value().options.strategy);
+  EXPECT_EQ(from_observation.value().options.shards,
+            from_raw.value().options.shards);
+  EXPECT_DOUBLE_EQ(from_observation.value().predicted_mean_variance,
+                   from_raw.value().predicted_mean_variance);
+}
+
 }  // namespace
 }  // namespace dphist

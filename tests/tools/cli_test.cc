@@ -13,15 +13,22 @@
 namespace dphist::cli {
 namespace {
 
-int RunMain(std::initializer_list<const char*> args, std::string* out_text,
-            std::string* err_text) {
+int RunMainWithInput(const std::string& input,
+                     std::initializer_list<const char*> args,
+                     std::string* out_text, std::string* err_text) {
   std::vector<const char*> argv = {"dphist_cli"};
   argv.insert(argv.end(), args);
+  std::istringstream in(input);
   std::ostringstream out, err;
-  int code = Main(static_cast<int>(argv.size()), argv.data(), out, err);
+  int code = Main(static_cast<int>(argv.size()), argv.data(), in, out, err);
   if (out_text != nullptr) *out_text = out.str();
   if (err_text != nullptr) *err_text = err.str();
   return code;
+}
+
+int RunMain(std::initializer_list<const char*> args, std::string* out_text,
+            std::string* err_text) {
+  return RunMainWithInput("", args, out_text, err_text);
 }
 
 std::string TempPath(const std::string& name) {
@@ -420,6 +427,141 @@ TEST(CliTest, ServeAutoPicksAHierarchyForLongRangeWorkload) {
   EXPECT_NE(out.find("# planned strategy="), std::string::npos) << out;
   EXPECT_EQ(out.find("# planned strategy=ltilde"), std::string::npos)
       << "long ranges must resolve to a hierarchical strategy\n"
+      << out;
+  std::remove(data_path.c_str());
+  std::remove(queries_path.c_str());
+}
+
+// The acceptance-criterion transcript: a scripted streaming session
+// whose unit-count traffic crosses the every-N replan trigger must
+// demonstrably switch strategy — the transcript carries the new
+// "# planned strategy=" line — while every batch is answered under one
+// epoch (the "# batch ... epoch=" receipts).
+TEST(CliTest, ServeStdinCrossingReplanTriggerSwitchesStrategy) {
+  std::string data_path = TempPath("cli_stdin_data.csv");
+  std::string out, err;
+  ASSERT_EQ(RunMain({"generate", "--dataset", "social", "--output",
+                     data_path.c_str(), "--size", "256"},
+                    &out, &err),
+            0)
+      << err;
+
+  // 5 batches of 8 unit queries; the 4th crosses --replan-every 32.
+  std::string script;
+  for (int b = 0; b < 5; ++b) {
+    script += "qb 8";
+    for (int i = 0; i < 8; ++i) {
+      script += " " + std::to_string(8 * b + i) + " " +
+                std::to_string(8 * b + i);
+    }
+    script += "\n";
+  }
+  script += "stats\nquit\n";
+
+  ASSERT_EQ(RunMainWithInput(
+                script,
+                {"serve", "--input", data_path.c_str(), "--stdin",
+                 "--epsilon", "1", "--strategy", "auto", "--replan-every",
+                 "32", "--replan-sync"},
+                &out, &err),
+            0)
+      << err;
+
+  // Banner, then the initial plan against the neutral prior (which must
+  // not be L~ — the sweep contains long ranges).
+  EXPECT_NE(out.find("# serving n=256 epoch=1"), std::string::npos) << out;
+  EXPECT_NE(out.find("reason=initial"), std::string::npos) << out;
+  // The observed unit traffic crossed the trigger and switched to L~.
+  EXPECT_NE(out.find("# planned strategy=ltilde"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("reason=every"), std::string::npos) << out;
+  // Single-epoch receipts for every batch, before and after the swap.
+  EXPECT_NE(out.find("# batch n=8 epoch=1"), std::string::npos) << out;
+  EXPECT_NE(out.find("# batch n=8 epoch=2"), std::string::npos) << out;
+  // The stats surface reports the lifecycle.
+  EXPECT_NE(out.find("replans=1"), std::string::npos) << out;
+  EXPECT_NE(out.find("epsilon_spent=2"), std::string::npos) << out;
+  EXPECT_NE(out.find("# served 40 queries"), std::string::npos) << out;
+  std::remove(data_path.c_str());
+}
+
+TEST(CliTest, ServeStdinManualReplanAndStats) {
+  std::string data_path = TempPath("cli_stdin_manual_data.csv");
+  std::string out, err;
+  ASSERT_EQ(RunMain({"generate", "--dataset", "social", "--output",
+                     data_path.c_str(), "--size", "128"},
+                    &out, &err),
+            0)
+      << err;
+  ASSERT_EQ(RunMainWithInput(
+                "q 0 0\nq 5 5\nq 9 9\nreplan\nq 0 0\nstats\nquit\n",
+                {"serve", "--input", data_path.c_str(), "--stdin",
+                 "--epsilon", "1", "--strategy", "hbar"},
+                &out, &err),
+            0)
+      << err;
+  // The manual replan switched the unit-heavy session away from the
+  // concrete initial strategy and spent a second epsilon.
+  EXPECT_NE(out.find("# planned strategy=ltilde"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("reason=manual"), std::string::npos) << out;
+  EXPECT_NE(out.find("epoch=2"), std::string::npos) << out;
+  EXPECT_NE(out.find("epsilon_spent=2"), std::string::npos) << out;
+  std::remove(data_path.c_str());
+}
+
+TEST(CliTest, ServeStdinSurvivesParseErrors) {
+  std::string data_path = TempPath("cli_stdin_err_data.csv");
+  std::string out, err;
+  ASSERT_EQ(RunMain({"generate", "--dataset", "social", "--output",
+                     data_path.c_str(), "--size", "64"},
+                    &out, &err),
+            0)
+      << err;
+  // A typo mid-session reports an error and keeps serving; the next
+  // query still gets an answer and the session exits cleanly.
+  ASSERT_EQ(RunMainWithInput("frobnicate\nq 0 63\nquit\n",
+                             {"serve", "--input", data_path.c_str(),
+                              "--stdin", "--epsilon", "1"},
+                             &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+  EXPECT_NE(out.find("unknown command"), std::string::npos) << out;
+  EXPECT_NE(out.find("# served 1 queries"), std::string::npos) << out;
+  std::remove(data_path.c_str());
+}
+
+TEST(CliTest, ServeQueriesFileAcceptsSessionCommands) {
+  // The file mode shares the session grammar: a workload file may carry
+  // control commands, and the same parser serves both paths.
+  std::string data_path = TempPath("cli_file_session_data.csv");
+  std::string queries_path = TempPath("cli_file_session_queries.txt");
+  std::string out, err;
+  ASSERT_EQ(RunMain({"generate", "--dataset", "social", "--output",
+                     data_path.c_str(), "--size", "128"},
+                    &out, &err),
+            0)
+      << err;
+  {
+    std::ofstream queries(queries_path);
+    queries << "# a comment\n"
+            << "0 0\n"
+            << "q 5 5\n"
+            << "replan\n"
+            << "qb 2 0 63 7 7\n"
+            << "stats\n";
+  }
+  ASSERT_EQ(RunMain({"serve", "--input", data_path.c_str(), "--queries",
+                     queries_path.c_str(), "--epsilon", "1", "--strategy",
+                     "htilde"},
+                    &out, &err),
+            0)
+      << err;
+  // 4 answers; the replan between them republished at epoch 2.
+  EXPECT_NE(out.find("# planned strategy="), std::string::npos) << out;
+  EXPECT_NE(out.find("reason=manual"), std::string::npos) << out;
+  EXPECT_NE(out.find("# served 4 queries from epoch 2"), std::string::npos)
       << out;
   std::remove(data_path.c_str());
   std::remove(queries_path.c_str());

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -17,6 +19,9 @@
 #include "estimators/universal.h"
 #include "planner/planner.h"
 #include "planner/workload_profile.h"
+#include "runtime/epoch_manager.h"
+#include "runtime/serving_loop.h"
+#include "runtime/session.h"
 #include "service/query_service.h"
 
 namespace dphist::cli {
@@ -32,13 +37,18 @@ constexpr char kUsage[] =
     "                    [--no-prune] [--no-round] [--seed S]\n"
     "  release-sorted    --input P --output P --epsilon E [--seed S]\n"
     "  query             --release P --lo X --hi Y\n"
-    "  serve             --input P --queries P --epsilon E\n"
+    "  serve             --input P --epsilon E (--queries P | --stdin)\n"
     "                    [--strategy hbar|htilde|ltilde|wavelet|auto]\n"
     "                    [--branching K] [--shards S] [--cache N]\n"
     "                    [--threads T] [--build-threads B] [--seed S]\n"
     "                    [--no-round] [--no-prune] [--max-shards M]\n"
     "                    [--strategies a,b,c] [--objective mean|worst]\n"
     "                    [--max-analyzer-width W]   (auto planning)\n"
+    "                    [--replan-every N] [--replan-drift X]\n"
+    "                    [--drift-check-every N] [--replan-sync]\n"
+    "                    [--reservoir N] [--epsilon-budget B]\n"
+    "                    (--stdin REPL: q lo hi | qb k lo hi ... |\n"
+    "                     stats | replan | quit)\n"
     "  plan              --queries P --epsilon E (--input P | --domain N)\n"
     "                    [--branching K] [--max-shards M]\n"
     "                    [--strategies a,b,c] [--objective mean|worst]\n"
@@ -217,9 +227,14 @@ Status RunQuery(const Flags& flags, std::ostream& out) {
   return Status::Ok();
 }
 
-Status RunServe(const Flags& flags, std::ostream& out) {
-  for (const char* required : {"input", "queries", "epsilon"}) {
+Status RunServe(const Flags& flags, std::istream& in, std::ostream& out) {
+  for (const char* required : {"input", "epsilon"}) {
     Status s = RequireFlag(flags, required);
+    if (!s.ok()) return s;
+  }
+  const bool streaming = flags.GetBool("stdin", false);
+  if (!streaming) {
+    Status s = RequireFlag(flags, "queries");
     if (!s.ok()) return s;
   }
   auto data = LoadHistogramCsv(flags.GetString("input", ""));
@@ -246,71 +261,109 @@ Status RunServe(const Flags& flags, std::ostream& out) {
   options.prune_nonpositive_subtrees = !flags.GetBool("no-prune", false);
   options.build_threads = flags.GetInt("build-threads", 1);
 
-  // Parse the workload before paying for the release.
-  auto workload_result =
-      planner::LoadWorkloadFile(flags.GetString("queries", ""), n);
-  if (!workload_result.ok()) return workload_result.status();
-  const std::vector<Interval>& workload = workload_result.value();
-
   QueryServiceOptions service_options;
   service_options.cache_capacity = flags.GetInt("cache", 1 << 16);
+  service_options.observed_reservoir = flags.GetInt("reservoir", 0);
+  if (service_options.observed_reservoir < 0) {
+    return Status::InvalidArgument("reservoir must be >= 0");
+  }
   Status planner_status = FillPlannerOptions(flags, &service_options.planner);
   if (!planner_status.ok()) return planner_status;
+
+  runtime::EpochManagerOptions manager_options;
+  manager_options.base = options;
+  manager_options.planner = service_options.planner;
+  manager_options.replan_every = flags.GetInt("replan-every", 0);
+  manager_options.drift_ratio = flags.GetDouble("replan-drift", 0.0);
+  manager_options.drift_check_every = flags.GetInt("drift-check-every", 256);
+  manager_options.async = !flags.GetBool("replan-sync", false);
+  manager_options.epsilon_budget = flags.GetDouble("epsilon-budget", 0.0);
+  if (manager_options.replan_every < 0 ||
+      manager_options.drift_ratio < 0.0 ||
+      manager_options.drift_check_every < 1 ||
+      manager_options.epsilon_budget < 0.0) {
+    return Status::InvalidArgument(
+        "replan-every/replan-drift/epsilon-budget must be >= 0 and "
+        "drift-check-every >= 1");
+  }
+
   QueryService service(service_options);
-
-  // With --strategy auto the planner picks against this exact workload's
-  // length profile (the best information we will ever have about it);
-  // a concrete strategy never reads the profile, so skip building it.
-  planner::WorkloadProfile profile(n);
-  if (options.strategy == StrategyKind::kAuto) {
-    for (const Interval& query : workload) profile.AddQuery(query);
-  }
-  auto published = service.Publish(
-      data.value(), options,
-      static_cast<std::uint64_t>(flags.GetInt("seed", 42)),
-      profile.empty() ? nullptr : &profile);
-  if (!published.ok()) return published.status();
-
-  // Fan the workload out over worker threads in contiguous slices; each
-  // slice is one batch, answered against the single published snapshot
-  // and written into its own span of the shared answer vector.
-  const std::int64_t threads =
+  runtime::EpochManager manager(
+      &service, data.value(), manager_options,
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
+  runtime::SessionWriter writer(out);
+  runtime::ServingLoopOptions loop_options;
+  loop_options.threads =
       ResolveThreadCount(flags.GetInt("threads", 1, "DPHIST_THREADS"));
-  std::vector<double> answers(workload.size());
-  if (!workload.empty()) {
-    const std::int64_t total = static_cast<std::int64_t>(workload.size());
-    const std::int64_t slices = std::min(threads, total);
-    const std::int64_t slice_width = (total + slices - 1) / slices;
-    ParallelFor(slices, threads, [&](std::int64_t slice) {
-      const std::int64_t begin = slice * slice_width;
-      const std::int64_t end = std::min(total, begin + slice_width);
-      if (begin >= end) return;
-      service.QueryBatch(workload.data() + begin,
-                         static_cast<std::size_t>(end - begin),
-                         answers.data() + begin);
-    });
+
+  runtime::SessionSummary summary;
+  Result<runtime::ReplanOutcome> initial = Status::Internal("unset");
+  if (streaming) {
+    // REPL over `in`: publish first (auto plans against whatever has
+    // been observed — nothing yet, so the neutral geometric sweep),
+    // greet, then serve until quit/EOF. Replans land mid-session.
+    initial = manager.PublishInitial();
+    if (!initial.ok()) return initial.status();
+    const Snapshot& snap = *initial.value().snapshot;
+    std::ostringstream banner;
+    banner << "serving n=" << n << " epoch=" << snap.epoch()
+           << " strategy=" << StrategyKindName(snap.strategy())
+           << " shards=" << snap.shard_count() << " eps=" << snap.epsilon();
+    writer.Comment(banner.str());
+    if (initial.value().planned) {
+      writer.PlanNote(initial.value().plan, snap.epoch(), "initial");
+    }
+    writer.Flush();
+    auto session =
+        runtime::RunStreamingSession(in, writer, service, manager,
+                                     loop_options);
+    if (!session.ok()) return session.status();
+    summary = session.value();
+  } else {
+    // Batch mode: one parse pass through the session grammar (the
+    // workload-file format is its bare-range subset), profile built
+    // from the whole script — the best picture of the workload a
+    // planner will ever get — then the scripted loop answers runs of
+    // queries with the threaded fan-out.
+    std::ifstream file(flags.GetString("queries", ""));
+    if (!file) {
+      return Status::IoError("cannot open query file: " +
+                             flags.GetString("queries", ""));
+    }
+    auto script = runtime::ReadSessionScript(file, n);
+    if (!script.ok()) return script.status();
+
+    planner::WorkloadProfile profile(n);
+    if (options.strategy == StrategyKind::kAuto) {
+      for (const runtime::SessionCommand& command : script.value()) {
+        for (const Interval& query : command.ranges) {
+          profile.AddQuery(query);
+        }
+      }
+    }
+    initial = manager.PublishInitial(profile.empty() ? nullptr : &profile);
+    if (!initial.ok()) return initial.status();
+    auto session = runtime::RunScriptedSession(script.value(), writer,
+                                               service, manager,
+                                               loop_options);
+    if (!session.ok()) return session.status();
+    summary = session.value();
   }
 
-  // Default ostream precision (6 significant digits) would quantize
-  // counts >= 1e6; 15 digits round-trips every integral count a double
-  // can hold exactly, without decorating small integers.
-  const std::streamsize old_precision = out.precision(15);
-  for (double answer : answers) out << answer << "\n";
-  out.precision(old_precision);
+  std::shared_ptr<const Snapshot> current = service.snapshot();
   AnswerCache::Stats stats = service.cache_stats();
+  const std::uint64_t report_epoch =
+      summary.last_epoch != 0 ? summary.last_epoch : current->epoch();
   // Report the *resolved* strategy: with --strategy auto this is the
   // planner's choice, otherwise it echoes the flag.
-  out << "# served " << workload.size() << " queries from epoch "
-      << published.value()->epoch() << " ("
-      << StrategyKindName(published.value()->strategy())
-      << ", eps=" << options.epsilon
-      << ", shards=" << published.value()->shard_count() << ", threads="
-      << threads << ", cache hits=" << stats.hits << " misses="
-      << stats.misses << ")\n";
-  if (options.strategy == StrategyKind::kAuto) {
-    out << "# planned strategy="
-        << StrategyKindName(published.value()->strategy())
-        << " shards=" << published.value()->options().shards << "\n";
+  out << "# served " << summary.queries << " queries from epoch "
+      << report_epoch << " (" << StrategyKindName(current->strategy())
+      << ", eps=" << options.epsilon << ", shards="
+      << current->shard_count() << ", threads=" << loop_options.threads
+      << ", cache hits=" << stats.hits << " misses=" << stats.misses
+      << ")\n";
+  if (!streaming && options.strategy == StrategyKind::kAuto) {
+    writer.PlanNote(initial.value().plan, initial.value().epoch, "initial");
   }
   return Status::Ok();
 }
@@ -358,8 +411,8 @@ Status RunPlan(const Flags& flags, std::ostream& out) {
   return Status::Ok();
 }
 
-int Main(int argc, const char* const* argv, std::ostream& out,
-         std::ostream& err) {
+int Main(int argc, const char* const* argv, std::istream& in,
+         std::ostream& out, std::ostream& err) {
   Flags flags = Flags::Parse(argc, argv);
   if (flags.positional().empty()) {
     err << kUsage;
@@ -376,7 +429,7 @@ int Main(int argc, const char* const* argv, std::ostream& out,
   } else if (command == "query") {
     status = RunQuery(flags, out);
   } else if (command == "serve") {
-    status = RunServe(flags, out);
+    status = RunServe(flags, in, out);
   } else if (command == "plan") {
     status = RunPlan(flags, out);
   }
@@ -386,6 +439,11 @@ int Main(int argc, const char* const* argv, std::ostream& out,
     return 1;
   }
   return 0;
+}
+
+int Main(int argc, const char* const* argv, std::ostream& out,
+         std::ostream& err) {
+  return Main(argc, argv, std::cin, out, err);
 }
 
 }  // namespace dphist::cli

@@ -6,9 +6,12 @@
 //   release-universal publish an epsilon-DP universal histogram (H-bar)
 //   release-sorted    publish an epsilon-DP unattributed histogram (S-bar)
 //   query             answer a range count from a published histogram
-//   serve             publish a QueryService snapshot and answer a whole
-//                     range workload concurrently (src/service/);
-//                     --strategy auto lets the planner pick
+//   serve             long-lived serving runtime (src/runtime/): publish
+//                     a QueryService snapshot and answer a workload file
+//                     concurrently, or --stdin for a streaming REPL;
+//                     --strategy auto lets the planner pick and
+//                     --replan-every/--replan-drift let the EpochManager
+//                     republish as observed traffic shifts
 //   plan              cost every (strategy, shards) candidate against a
 //                     workload and print the variance-minimizing plan
 //                     (src/planner/)
@@ -16,7 +19,7 @@
 #ifndef DPHIST_TOOLS_CLI_COMMANDS_H_
 #define DPHIST_TOOLS_CLI_COMMANDS_H_
 
-#include <ostream>
+#include <iosfwd>
 
 #include "common/flags.h"
 #include "common/status.h"
@@ -40,19 +43,24 @@ Status RunReleaseSorted(const Flags& flags, std::ostream& out);
 /// Sums the published per-position estimates over [lo, hi].
 Status RunQuery(const Flags& flags, std::ostream& out);
 
-/// `serve --input PATH --queries PATH --epsilon E
+/// `serve --input PATH --epsilon E (--queries PATH | --stdin)
 ///  [--strategy hbar|htilde|ltilde|wavelet|auto] [--branching K]
 ///  [--shards S] [--cache N] [--threads T] [--build-threads B] [--seed S]
 ///  [--no-round] [--no-prune] [--max-shards M] [--strategies a,b,c]
-///  [--objective mean|worst] [--max-analyzer-width W]`
-/// Publishes one snapshot of the input histogram, answers every "lo hi"
-/// line of the query file through the shared-cache QueryService with T
-/// worker threads, and writes one answer per line (input order) followed
-/// by a `# served ...` stats comment line. With --strategy auto the
-/// cost-based planner picks the (strategy, shards) pair that minimizes
-/// the workload's expected squared error; the stats line reports the
-/// resolved choice.
-Status RunServe(const Flags& flags, std::ostream& out);
+///  [--objective mean|worst] [--max-analyzer-width W]
+///  [--replan-every N] [--replan-drift X] [--drift-check-every N]
+///  [--replan-sync] [--reservoir N] [--epsilon-budget B]`
+/// The serving runtime. With --queries it publishes one snapshot and
+/// answers the session script (one answer per line, input order, T
+/// worker threads) followed by a `# served ...` stats line — the classic
+/// batch mode, now a thin driver over src/runtime/. With --stdin it
+/// serves a streaming session from standard input (`q lo hi`,
+/// `qb k ...`, `stats`, `replan`, `quit` — see runtime/session.h).
+/// Either way the EpochManager can republish mid-session: every N
+/// observed queries, on predicted-MSE drift, or on the `replan` command
+/// — each republish spends a fresh epsilon and is announced as a
+/// `# planned strategy=...` line.
+Status RunServe(const Flags& flags, std::istream& in, std::ostream& out);
 
 /// `plan --queries PATH --epsilon E (--input PATH | --domain N)
 ///  [--branching K] [--max-shards M] [--strategies a,b,c]
@@ -64,7 +72,11 @@ Status RunServe(const Flags& flags, std::ostream& out);
 Status RunPlan(const Flags& flags, std::ostream& out);
 
 /// Dispatches on the first positional argument; prints usage on error.
-/// Returns a process exit code.
+/// Returns a process exit code. `in` feeds `serve --stdin`.
+int Main(int argc, const char* const* argv, std::istream& in,
+         std::ostream& out, std::ostream& err);
+
+/// Convenience overload reading from std::cin.
 int Main(int argc, const char* const* argv, std::ostream& out,
          std::ostream& err);
 

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Builds the benchmark suite in Release mode, runs
-# bench_micro_range_query, bench_service_throughput, and
-# bench_snapshot_build, and writes BENCH_range_query.json,
-# BENCH_service.json, and BENCH_snapshot_build.json at the repo root so
-# the query-path, serving-layer, and publish-latency performance
+# bench_micro_range_query, bench_service_throughput,
+# bench_snapshot_build, and bench_streaming_serve, and writes
+# BENCH_range_query.json, BENCH_service.json, BENCH_snapshot_build.json,
+# and BENCH_streaming.json at the repo root so the query-path,
+# serving-layer, publish-latency, and online-replan performance
 # trajectories are tracked from PR to PR.
 #
 # Usage: tools/run_bench.sh [extra micro_range_query flags...]
@@ -20,7 +21,7 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release \
   -DDPHIST_BUILD_BENCH=ON >/dev/null
 cmake --build "${BUILD_DIR}" \
   --target bench_micro_range_query bench_service_throughput \
-  bench_snapshot_build -j >/dev/null
+  bench_snapshot_build bench_streaming_serve -j >/dev/null
 
 OUT="${REPO_ROOT}/BENCH_range_query.json"
 "${BUILD_DIR}/bench_micro_range_query" "$@" > "${OUT}"
@@ -31,11 +32,15 @@ SERVICE_OUT="${REPO_ROOT}/BENCH_service.json"
 SNAPSHOT_OUT="${REPO_ROOT}/BENCH_snapshot_build.json"
 "${BUILD_DIR}/bench_snapshot_build" > "${SNAPSHOT_OUT}"
 
+STREAMING_OUT="${REPO_ROOT}/BENCH_streaming.json"
+"${BUILD_DIR}/bench_streaming_serve" > "${STREAMING_OUT}"
+
 echo "wrote ${OUT}"
 echo "wrote ${SERVICE_OUT}"
 echo "wrote ${SNAPSHOT_OUT}"
+echo "wrote ${STREAMING_OUT}"
 if command -v python3 >/dev/null 2>&1; then
-  python3 - "$OUT" "$SERVICE_OUT" "$SNAPSHOT_OUT" <<'EOF'
+  python3 - "$OUT" "$SERVICE_OUT" "$SNAPSHOT_OUT" "$STREAMING_OUT" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     data = json.load(f)
@@ -55,5 +60,12 @@ print(f"Snapshot build at {s['max_threads']} threads: "
       f"{s['build_seconds_max_threads']:.3g} s "
       f"({s['speedup_max_over_min']:.1f}x over {s['min_threads']}; "
       f"bit_identical={snapshot['bit_identical']})")
+with open(sys.argv[4]) as f:
+    streaming = json.load(f)
+s = streaming["summary"]
+print(f"Streaming serve: {s['steady_state_qps']:.3g} q/s steady, "
+      f"replan pause {s['replan_pause_seconds']*1e3:.3g} ms "
+      f"(build {s['mean_replan_build_seconds']*1e3:.3g} ms, "
+      f"{streaming['hardware_concurrency']} core(s))")
 EOF
 fi
