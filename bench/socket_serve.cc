@@ -1,0 +1,252 @@
+// Socket-serve benchmark: aggregate throughput of the network transport
+// with N concurrent loopback clients sharing one QueryService +
+// EpochManager, emitting JSON so BENCH_socket.json tracks the transport
+// from PR to PR (see tools/run_bench.sh).
+//
+// Protocol: an in-process SocketServer listens on an ephemeral loopback
+// port (exactly the `dphist serve --listen` wiring). For each entry in
+// --connections-list, C client threads connect, read the banner, and
+// stream `qb <batch> ...` commands of random ranges — each round trip
+// writes one line and reads batch answers plus the single-epoch
+// receipt, so the measured number includes the full session-grammar
+// parse, the query fan-in, and both socket hops. After a warmup, each
+// client times --measure batches; aggregate qps is total answered
+// ranges over the wall-clock of the slowest client.
+//
+// On the 1-core reference container every connection thread, session
+// thread, and the measurement share one core, so qps at 4 connections
+// measures protocol overhead under contention rather than scaling;
+// re-record on multicore for honest scaling (README "Network serving").
+//
+// Flags (DPHIST_* env equivalents): --domain-log2, --strategy,
+// --epsilon, --batch, --measure, --warmup, --connections-list, --cache,
+// --seed.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "data/zipf.h"
+#include "domain/histogram.h"
+#include "runtime/epoch_manager.h"
+#include "runtime/transport.h"
+#include "service/query_service.h"
+
+using namespace dphist;  // NOLINT(build/namespaces)
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<std::int64_t> ParseList(const std::string& csv,
+                                    std::vector<std::int64_t> fallback) {
+  if (csv.empty()) return fallback;
+  std::vector<std::int64_t> values;
+  std::istringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) values.push_back(std::stoll(token));
+  }
+  return values.empty() ? fallback : values;
+}
+
+struct ClientResult {
+  double seconds = 0.0;       // measured window wall-clock
+  std::uint64_t queries = 0;  // ranges answered inside the window
+  std::uint64_t epoch = 0;    // epoch of the last receipt
+  bool ok = false;
+};
+
+/// One client: banner, warmup batches, measured batches. Every batch is
+/// a single `qb` line; the reply is `batch` answer lines plus the
+/// "# batch ..." receipt.
+ClientResult RunClient(int port, std::int64_t n, std::int64_t batch,
+                       std::int64_t warmup, std::int64_t measure,
+                       std::uint64_t seed) {
+  ClientResult result;
+  auto stream = runtime::ConnectLoopback(port);
+  if (!stream.ok()) return result;
+  std::string line;
+  if (!std::getline(*stream.value(), line)) return result;  // banner
+
+  Rng rng(seed);
+  std::ostringstream command;
+  auto run_batch = [&]() -> bool {
+    command.str("");
+    command << "qb " << batch;
+    for (std::int64_t i = 0; i < batch; ++i) {
+      const std::int64_t lo = rng.NextInt(0, n - 1);
+      command << " " << lo << " " << rng.NextInt(lo, n - 1);
+    }
+    command << "\n";
+    *stream.value() << command.str();
+    stream.value()->flush();
+    for (std::int64_t i = 0; i < batch; ++i) {
+      if (!std::getline(*stream.value(), line)) return false;
+    }
+    if (!std::getline(*stream.value(), line)) return false;  // receipt
+    const std::size_t epoch_at = line.rfind("epoch=");
+    if (epoch_at != std::string::npos) {
+      result.epoch = std::stoull(line.substr(epoch_at + 6));
+    }
+    return true;
+  };
+
+  for (std::int64_t i = 0; i < warmup; ++i) {
+    if (!run_batch()) return result;
+  }
+  const double start = NowSeconds();
+  for (std::int64_t i = 0; i < measure; ++i) {
+    if (!run_batch()) return result;
+    result.queries += static_cast<std::uint64_t>(batch);
+  }
+  result.seconds = NowSeconds() - start;
+  *stream.value() << "quit\n";
+  stream.value()->flush();
+  while (std::getline(*stream.value(), line)) {
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const std::int64_t domain_log2 =
+      flags.GetInt("domain-log2", 14, "DPHIST_DOMAIN_LOG2");
+  const std::int64_t n = std::int64_t{1} << domain_log2;
+  const std::string strategy_name =
+      flags.GetString("strategy", "hbar", "DPHIST_STRATEGY");
+  const double epsilon = flags.GetDouble("epsilon", 0.1, "DPHIST_EPSILON");
+  const std::int64_t batch = flags.GetInt("batch", 64, "DPHIST_BATCH");
+  const std::int64_t warmup = flags.GetInt("warmup", 20, "DPHIST_WARMUP");
+  const std::int64_t measure =
+      flags.GetInt("measure", 200, "DPHIST_MEASURE");
+  const std::int64_t cache_capacity =
+      flags.GetInt("cache", 1 << 15, "DPHIST_CACHE");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const std::vector<std::int64_t> connections_list = ParseList(
+      flags.GetString("connections-list", "", "DPHIST_CONNECTIONS_LIST"),
+      {1, 4});
+
+  auto strategy = ParseStrategyKind(strategy_name);
+  DPHIST_CHECK_MSG(strategy.ok(), "bad --strategy");
+
+  Rng data_rng(seed);
+  Histogram data =
+      Histogram::FromCounts(ZipfCounts(n, 1.1, 5 * n, &data_rng));
+
+  struct Run {
+    std::int64_t connections;
+    double qps;
+    double seconds;
+    std::uint64_t queries;
+  };
+  std::vector<Run> runs;
+  for (const std::int64_t connections : connections_list) {
+    // A fresh service + manager + listener per configuration, so cache
+    // warmth never leaks between connection counts.
+    QueryServiceOptions service_options;
+    service_options.cache_capacity = cache_capacity;
+    QueryService service(service_options);
+    runtime::EpochManagerOptions manager_options;
+    manager_options.base.epsilon = epsilon;
+    manager_options.base.strategy = strategy.value();
+    runtime::EpochManager manager(&service, data, manager_options, seed);
+    DPHIST_CHECK_MSG(manager.PublishInitial().ok(),
+                     "initial publish failed");
+    runtime::TransportOptions transport;
+    transport.port = 0;
+    transport.max_sessions = connections;
+    runtime::SocketServer server(service, manager, transport);
+    DPHIST_CHECK_MSG(server.Start().ok(), "listener failed to start");
+
+    std::vector<ClientResult> results(
+        static_cast<std::size_t>(connections));
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<std::size_t>(connections));
+    for (std::int64_t c = 0; c < connections; ++c) {
+      clients.emplace_back([&, c] {
+        results[static_cast<std::size_t>(c)] =
+            RunClient(server.port(), n, batch, warmup, measure,
+                      seed + 100 + static_cast<std::uint64_t>(c));
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    server.WaitUntilStopped();
+
+    Run run{connections, 0.0, 0.0, 0};
+    for (const ClientResult& result : results) {
+      DPHIST_CHECK_MSG(result.ok, "client failed");
+      run.seconds = std::max(run.seconds, result.seconds);
+      run.queries += result.queries;
+    }
+    run.qps = static_cast<double>(run.queries) / run.seconds;
+    runs.push_back(run);
+    std::fprintf(stderr,
+                 "connections=%lld: %llu queries in %.3fs -> %.4g q/s\n",
+                 static_cast<long long>(run.connections),
+                 static_cast<unsigned long long>(run.queries), run.seconds,
+                 run.qps);
+  }
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"socket_serve\",\n");
+  std::printf("  \"build\": \"%s\",\n",
+#ifdef NDEBUG
+              "Release"
+#else
+              "Debug"
+#endif
+  );
+  std::printf("  \"domain_log2\": %lld,\n",
+              static_cast<long long>(domain_log2));
+  std::printf("  \"strategy\": \"%s\",\n",
+              StrategyKindName(strategy.value()));
+  std::printf("  \"epsilon\": %g,\n", epsilon);
+  std::printf("  \"batch\": %lld,\n", static_cast<long long>(batch));
+  std::printf("  \"measure_batches_per_client\": %lld,\n",
+              static_cast<long long>(measure));
+  std::printf("  \"cache_capacity\": %lld,\n",
+              static_cast<long long>(cache_capacity));
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    std::printf(
+        "    {\"connections\": %lld, \"aggregate_qps\": %.6g, "
+        "\"seconds\": %.6g, \"queries\": %llu}%s\n",
+        static_cast<long long>(runs[i].connections), runs[i].qps,
+        runs[i].seconds,
+        static_cast<unsigned long long>(runs[i].queries),
+        i + 1 < runs.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  const Run& first = runs.front();
+  const Run& last = runs.back();
+  std::printf("  \"summary\": {\n");
+  std::printf("    \"min_connections\": %lld,\n",
+              static_cast<long long>(first.connections));
+  std::printf("    \"max_connections\": %lld,\n",
+              static_cast<long long>(last.connections));
+  std::printf("    \"qps_at_min_connections\": %.6g,\n", first.qps);
+  std::printf("    \"qps_at_max_connections\": %.6g,\n", last.qps);
+  std::printf("    \"scaling_max_over_min\": %.4g\n",
+              last.qps / first.qps);
+  std::printf("  }\n");
+  std::printf("}\n");
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "runtime/epoch_manager.h"
 
+#include <iterator>
 #include <limits>
 #include <utility>
 
@@ -54,20 +55,45 @@ std::uint64_t EpochManager::NextSeedLocked() {
       seed_rng_.NextInt(0, std::numeric_limits<std::int64_t>::max()));
 }
 
+void EpochManager::AcquireBusy() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return !busy_ && !request_pending_; });
+  busy_ = true;
+}
+
+void EpochManager::ReleaseBusy() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    busy_ = false;
+  }
+  idle_cv_.notify_all();
+}
+
 Result<ReplanOutcome> EpochManager::PublishInitial(
     const planner::WorkloadProfile* profile) {
   ReplanOutcome outcome;
   outcome.trigger = ReplanTrigger::kInitial;
 
-  std::uint64_t seed;
+  // Hold the busy token across gate -> publish -> spend. Without it a
+  // concurrent replan could drain the budget between the CanSpend check
+  // and the Spend below (the TOCTOU that used to CHECK-abort a server
+  // whose two sessions raced a replan against a publish).
+  AcquireBusy();
+  bool refused = false;
+  std::uint64_t seed = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!accountant_.CanSpend(options_.base.epsilon)) {
       stats_.budget_refusals += 1;
-      return Status::FailedPrecondition(
-          "initial publish would exceed the epsilon budget");
+      refused = true;
+    } else {
+      seed = NextSeedLocked();
     }
-    seed = NextSeedLocked();
+  }
+  if (refused) {
+    ReleaseBusy();
+    return Status::FailedPrecondition(
+        "initial publish would exceed the epsilon budget");
   }
 
   Result<std::shared_ptr<const Snapshot>> published =
@@ -82,22 +108,28 @@ Result<ReplanOutcome> EpochManager::PublishInitial(
     }
     Result<planner::Plan> plan =
         planner::ChoosePlan(planning, options_.base, options_.planner);
-    if (!plan.ok()) return plan.status();
+    if (!plan.ok()) {
+      ReleaseBusy();
+      return plan.status();
+    }
     outcome.planned = true;
     outcome.plan = std::move(plan).value();
     published = service_->PublishFromPlan(data_, outcome.plan, seed);
   } else {
     published = service_->Publish(data_, options_.base, seed);
   }
-  if (!published.ok()) return published.status();
+  if (!published.ok()) {
+    ReleaseBusy();
+    return published.status();
+  }
 
   outcome.republished = true;
   outcome.snapshot = published.value();
   outcome.epoch = outcome.snapshot->epoch();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    // The budget was checked at the gate above and replans are
-    // serialized by busy_, so this spend cannot fail.
+    // Unreachable failure: every spend path holds the busy token across
+    // its gate, so the budget checked above cannot have shrunk.
     Status spent = accountant_.Spend(
         options_.base.epsilon,
         std::string("publish epoch ") + std::to_string(outcome.epoch));
@@ -107,6 +139,7 @@ Result<ReplanOutcome> EpochManager::PublishInitial(
     count_at_last_publish_ = service_->observed_query_count();
     count_at_last_drift_check_ = count_at_last_publish_;
   }
+  ReleaseBusy();
   return outcome;
 }
 
@@ -140,6 +173,7 @@ ReplanOutcome EpochManager::ExecuteReplan(ReplanTrigger trigger) {
     if (current_cost.ok() && outcome.plan.predicted_mean_variance > 0.0) {
       outcome.measured_drift = current_cost.value().mean_variance /
                                outcome.plan.predicted_mean_variance;
+      outcome.drift_measured = true;
       if (outcome.measured_drift < 1.0 + options_.drift_ratio) {
         return outcome;  // still the right release
       }
@@ -182,7 +216,8 @@ ReplanOutcome EpochManager::ExecuteReplan(ReplanTrigger trigger) {
   return outcome;
 }
 
-void EpochManager::RecordLocked(const ReplanOutcome& outcome) {
+void EpochManager::RecordLocked(const ReplanOutcome& outcome,
+                                SubscriberId skip) {
   if (outcome.republished) {
     stats_.republishes += 1;
     switch (outcome.trigger) {
@@ -209,7 +244,16 @@ void EpochManager::RecordLocked(const ReplanOutcome& outcome) {
   // Poll.
   count_at_last_publish_ = service_->observed_query_count();
   count_at_last_drift_check_ = count_at_last_publish_;
-  completed_.push_back(outcome);
+  // Broadcast: every subscribed session gets its own copy, so one
+  // session draining its queue never consumes another's announcement.
+  for (auto& [id, queue] : subscribers_) {
+    if (id == skip) continue;
+    if (queue.size() >= kMaxQueuedPerSubscriber) {
+      queue.pop_front();
+      stats_.announcements_dropped += 1;
+    }
+    queue.push_back(outcome);
+  }
 }
 
 bool EpochManager::Poll() {
@@ -252,22 +296,16 @@ bool EpochManager::Poll() {
   return true;
 }
 
-Result<ReplanOutcome> EpochManager::ReplanNow() {
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_cv_.wait(lock, [this] { return !busy_ && !request_pending_; });
-    busy_ = true;
-  }
+Result<ReplanOutcome> EpochManager::ReplanNow(SubscriberId reporter) {
+  AcquireBusy();
   ReplanOutcome outcome = ExecuteReplan(ReplanTrigger::kManual);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    RecordLocked(outcome);
-    // A manual replan is reported directly by the caller, not replayed
-    // from the completion queue too.
-    completed_.pop_back();
-    busy_ = false;
+    // The caller reports this outcome directly, so its own subscription
+    // is skipped; every other session still gets the announcement.
+    RecordLocked(outcome, /*skip=*/reporter);
   }
-  idle_cv_.notify_all();
+  ReleaseBusy();
   if (!outcome.status.ok()) return outcome.status;
   return outcome;
 }
@@ -277,10 +315,26 @@ void EpochManager::Drain() {
   idle_cv_.wait(lock, [this] { return !busy_ && !request_pending_; });
 }
 
-std::vector<ReplanOutcome> EpochManager::TakeCompleted() {
+EpochManager::SubscriberId EpochManager::Subscribe() {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<ReplanOutcome> taken = std::move(completed_);
-  completed_.clear();
+  const SubscriberId id = next_subscriber_++;
+  subscribers_[id];  // creates the empty queue
+  return id;
+}
+
+void EpochManager::Unsubscribe(SubscriberId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  subscribers_.erase(id);
+}
+
+std::vector<ReplanOutcome> EpochManager::TakeCompleted(SubscriberId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = subscribers_.find(id);
+  if (it == subscribers_.end()) return {};
+  std::vector<ReplanOutcome> taken(
+      std::make_move_iterator(it->second.begin()),
+      std::make_move_iterator(it->second.end()));
+  it->second.clear();
   return taken;
 }
 

@@ -20,8 +20,10 @@
 // exports the profile, runs ChoosePlan, builds the snapshot, and the
 // QueryService swaps it in atomically — readers never block, and every
 // in-flight batch still finishes under the epoch it started on. The
-// completed outcome is queued for the serving loop to report
-// (TakeCompleted), so transcripts show each "# planned ..." line.
+// completed outcome is broadcast to every subscribed session
+// (Subscribe/TakeCompleted), so each session's transcript shows each
+// "# planned ..." line exactly once — with several concurrent sessions
+// (the socket transport) no client can steal another's announcements.
 //
 // Privacy: every republish is a fresh interaction with the private data
 // and spends a fresh options.base.epsilon (sequential composition across
@@ -35,6 +37,8 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -92,14 +96,28 @@ struct ReplanOutcome {
   std::uint64_t epoch = 0;
   std::shared_ptr<const Snapshot> snapshot;
   /// Measured predicted-MSE ratio current/best for drift evaluations.
+  /// Meaningful only when drift_measured is true: a drift check can
+  /// also keep the release because the current configuration is not
+  /// costable (e.g. analyzer width cap) while the planner re-chooses
+  /// it — no ratio was ever computed then.
   double measured_drift = 0.0;
+  bool drift_measured = false;
   Status status = Status::Ok();
 };
 
 /// Drives republishing for one QueryService over one private histogram.
-/// All public methods are thread-safe.
+/// All public methods are thread-safe; any number of serving sessions
+/// may share one manager (each holding its own subscription).
 class EpochManager {
  public:
+  /// Identifies one completed-outcome subscriber (a serving session).
+  using SubscriberId = std::uint64_t;
+  /// Never a valid subscription: "report to nobody in particular".
+  static constexpr SubscriberId kNoSubscriber = 0;
+  /// Outcomes queued per subscriber before the oldest is dropped (a
+  /// session that never polls must not pin every old snapshot alive).
+  static constexpr std::size_t kMaxQueuedPerSubscriber = 64;
+
   /// Keeps a copy of `data` (replans rebuild from it) and spends from
   /// a deterministic seed stream derived from `seed`.
   EpochManager(QueryService* service, Histogram data,
@@ -113,7 +131,10 @@ class EpochManager {
 
   /// First publish (synchronous). With base.strategy == kAuto, plans
   /// against `profile` when given and non-empty, else the service's
-  /// observed traffic, else a neutral geometric sweep.
+  /// observed traffic, else a neutral geometric sweep. Serialized
+  /// through the same busy token replans hold, so the budget check and
+  /// the spend are atomic against concurrent replans; an exhausted
+  /// budget is a graceful FailedPrecondition, never an abort.
   Result<ReplanOutcome> PublishInitial(
       const planner::WorkloadProfile* profile = nullptr);
 
@@ -126,15 +147,28 @@ class EpochManager {
   /// Explicit synchronous replan (the REPL `replan` command): waits for
   /// any in-flight replan, then plans and republishes on this thread.
   /// Fails (without publishing) when the budget would be overspent or
-  /// no candidate is feasible.
-  Result<ReplanOutcome> ReplanNow();
+  /// no candidate is feasible. The outcome is returned to the caller
+  /// AND broadcast to every subscriber except `reporter` (the calling
+  /// session reports it directly; everyone else still learns the epoch
+  /// changed under them).
+  Result<ReplanOutcome> ReplanNow(SubscriberId reporter = kNoSubscriber);
 
   /// Blocks until no replan is queued or running.
   void Drain();
 
-  /// Outcomes completed since the last call, oldest first. The serving
-  /// loop polls this to print "# planned ..." lines for async replans.
-  std::vector<ReplanOutcome> TakeCompleted();
+  /// Registers a session for completed-outcome announcements. Only
+  /// outcomes recorded after this call are delivered.
+  SubscriberId Subscribe();
+
+  /// Drops a subscription and its undelivered outcomes. Unknown ids are
+  /// ignored (a session may outlive a manager reset in tests).
+  void Unsubscribe(SubscriberId id);
+
+  /// Outcomes recorded for `id` since its last call, oldest first. Each
+  /// serving session polls its own subscription to print "# planned
+  /// ..." lines — one session consuming its queue never steals
+  /// another's announcements.
+  std::vector<ReplanOutcome> TakeCompleted(SubscriberId id);
 
   struct Stats {
     std::uint64_t republishes = 0;    // successful publishes incl. initial
@@ -144,6 +178,9 @@ class EpochManager {
     std::uint64_t drift_checks = 0;   // evaluations that kept the release
     std::uint64_t failures = 0;       // attempts that errored
     std::uint64_t budget_refusals = 0;
+    /// Announcements evicted from a subscriber queue that outgrew
+    /// kMaxQueuedPerSubscriber (a session that stopped polling).
+    std::uint64_t announcements_dropped = 0;
     double epsilon_spent = 0.0;
     double epsilon_budget = 0.0;      // 0 = unlimited
   };
@@ -157,9 +194,17 @@ class EpochManager {
   /// itself); takes mutex_ only for short state reads/writes.
   ReplanOutcome ExecuteReplan(ReplanTrigger trigger);
 
-  /// Records the outcome in stats_ and the completion queue. Requires
-  /// mutex_.
-  void RecordLocked(const ReplanOutcome& outcome);
+  /// Blocks until the busy token is free (no replan queued or running)
+  /// and takes it / releases it. Every path that spends epsilon holds
+  /// the token across its CanSpend check and the Spend, so the gate can
+  /// never be invalidated by a concurrent publish.
+  void AcquireBusy();
+  void ReleaseBusy();
+
+  /// Records the outcome in stats_ and broadcasts it to every
+  /// subscriber queue except `skip`. Requires mutex_.
+  void RecordLocked(const ReplanOutcome& outcome,
+                    SubscriberId skip = kNoSubscriber);
 
   /// Next publish seed from the deterministic stream. Requires mutex_.
   std::uint64_t NextSeedLocked();
@@ -177,7 +222,11 @@ class EpochManager {
   bool request_pending_ = false;
   ReplanTrigger request_trigger_ = ReplanTrigger::kManual;
   bool busy_ = false;  // a replan is executing (worker or sync caller)
-  std::vector<ReplanOutcome> completed_;
+  /// Per-subscriber undelivered outcomes; every recorded outcome is
+  /// appended to every queue (minus the skip id), bounded at
+  /// kMaxQueuedPerSubscriber by dropping the oldest.
+  std::map<SubscriberId, std::deque<ReplanOutcome>> subscribers_;
+  SubscriberId next_subscriber_ = 1;
   Stats stats_;
   PrivacyAccountant accountant_;
   /// Observed-query counts anchoring the every-N and drift triggers.
@@ -185,6 +234,24 @@ class EpochManager {
   std::uint64_t count_at_last_drift_check_ = 0;
   Rng seed_rng_;
   std::thread worker_;  // running only when options_.async
+};
+
+/// Scoped subscription: subscribes on construction, unsubscribes on
+/// destruction. Every serving session holds one for its lifetime.
+class EpochSubscription {
+ public:
+  explicit EpochSubscription(EpochManager& manager)
+      : manager_(manager), id_(manager.Subscribe()) {}
+  ~EpochSubscription() { manager_.Unsubscribe(id_); }
+
+  EpochSubscription(const EpochSubscription&) = delete;
+  EpochSubscription& operator=(const EpochSubscription&) = delete;
+
+  EpochManager::SubscriberId id() const { return id_; }
+
+ private:
+  EpochManager& manager_;
+  EpochManager::SubscriberId id_;
 };
 
 }  // namespace dphist::runtime

@@ -13,7 +13,7 @@ namespace {
 
 /// Answers `count` ranges over `threads` workers in contiguous slices;
 /// each slice is one QueryBatch (single-epoch within itself). Returns
-/// the epoch of the last slice.
+/// the epoch of the last non-empty slice.
 std::uint64_t AnswerParallel(QueryService& service, const Interval* ranges,
                              std::size_t count, std::int64_t threads,
                              double* out) {
@@ -23,6 +23,12 @@ std::uint64_t AnswerParallel(QueryService& service, const Interval* ranges,
       1, std::min(ResolveThreadCount(threads), total));
   if (slices == 1) return service.QueryBatch(ranges, count, out);
   const std::int64_t slice_width = (total + slices - 1) / slices;
+  // Rounding can leave trailing slices empty (4 queries over 3 slices
+  // of width 2 fills only slices 0 and 1), so anchor the summary epoch
+  // on the last slice that actually answered queries — falling back to
+  // current_epoch() could report an epoch newer than any slice ran
+  // under when a swap lands between the fan-out and the summary.
+  const std::int64_t last_nonempty = (total + slice_width - 1) / slice_width - 1;
   std::uint64_t last_epoch = 0;
   ParallelFor(slices, slices, [&](std::int64_t slice) {
     const std::int64_t begin = slice * slice_width;
@@ -32,18 +38,24 @@ std::uint64_t AnswerParallel(QueryService& service, const Interval* ranges,
         service.QueryBatch(ranges + begin,
                            static_cast<std::size_t>(end - begin),
                            out + begin);
-    if (slice == slices - 1) last_epoch = epoch;
+    if (slice == last_nonempty) last_epoch = epoch;
   });
-  return last_epoch != 0 ? last_epoch : service.current_epoch();
+  return last_epoch;
 }
 
 /// Shared command executor; the two entry points differ only in how
 /// commands arrive and how errors are handled.
 class Executor {
  public:
+  /// Holds its own EpochManager subscription for the session's
+  /// lifetime, so concurrent sessions each see every completed replan
+  /// exactly once instead of racing over one shared queue.
   Executor(SessionWriter& writer, QueryService& service,
            EpochManager& manager)
-      : writer_(writer), service_(service), manager_(manager) {}
+      : writer_(writer),
+        service_(service),
+        manager_(manager),
+        subscription_(manager) {}
 
   SessionSummary& summary() { return summary_; }
 
@@ -86,7 +98,11 @@ class Executor {
         WriteStatsLine();
         return Status::Ok();
       case SessionVerb::kReplan: {
-        Result<ReplanOutcome> outcome = manager_.ReplanNow();
+        // Pass our subscription so the broadcast skips this session —
+        // we report the outcome directly below; other sessions still
+        // get their announcement.
+        Result<ReplanOutcome> outcome =
+            manager_.ReplanNow(subscription_.id());
         if (!outcome.ok()) return outcome.status();
         ReportOutcome(outcome.value());
         return Status::Ok();
@@ -101,7 +117,8 @@ class Executor {
   /// last call (including asynchronous ones from earlier commands).
   void PollAndReport() {
     manager_.Poll();
-    for (const ReplanOutcome& outcome : manager_.TakeCompleted()) {
+    for (const ReplanOutcome& outcome :
+         manager_.TakeCompleted(subscription_.id())) {
       ReportOutcome(outcome);
     }
   }
@@ -116,11 +133,27 @@ class Executor {
       std::ostringstream text;
       text.precision(4);
       text << "drift check kept "
-           << StrategyKindName(outcome.plan.options.strategy)
-           << " measured=" << outcome.measured_drift;
+           << StrategyKindName(outcome.plan.options.strategy);
+      if (outcome.drift_measured) {
+        text << " measured=" << outcome.measured_drift;
+      } else {
+        // No ratio was ever computed: the current configuration is not
+        // costable but the planner re-chose it. Printing "measured=0"
+        // here would claim a measurement that never happened.
+        text << " (planner re-chose current config; not costable)";
+      }
       writer_.Comment(text.str());
     } else {
-      writer_.Error(outcome.status);
+      // A failed lifecycle replan (budget refusal, infeasible plan) is
+      // shared state, not this session's fault: render it as a comment.
+      // "error:" stays reserved for the session's own commands — a
+      // client must never see its transcript flagged because another
+      // session's trigger was refused. (A failed `replan` COMMAND still
+      // reports as "error:" through Execute's status return.)
+      std::ostringstream text;
+      text << "replan failed (" << ReplanTriggerName(outcome.trigger)
+           << "): " << outcome.status.ToString();
+      writer_.Comment(text.str());
     }
   }
 
@@ -151,11 +184,22 @@ class Executor {
   SessionWriter& writer_;
   QueryService& service_;
   EpochManager& manager_;
+  EpochSubscription subscription_;
   SessionSummary summary_;
   std::vector<double> answers_;  // reused across commands
 };
 
 }  // namespace
+
+void WriteServingBanner(SessionWriter& writer, const Snapshot& snapshot) {
+  std::ostringstream banner;
+  banner << "serving n=" << snapshot.domain_size()
+         << " epoch=" << snapshot.epoch()
+         << " strategy=" << StrategyKindName(snapshot.strategy())
+         << " shards=" << snapshot.shard_count()
+         << " eps=" << snapshot.epsilon();
+  writer.Comment(banner.str());
+}
 
 Result<SessionSummary> RunStreamingSession(
     std::istream& in, SessionWriter& writer, QueryService& service,

@@ -51,8 +51,14 @@ struct SessionSummary {
   std::uint64_t last_epoch = 0;        // epoch of the last answered batch
 };
 
+/// "# serving n=... epoch=... strategy=... shards=... eps=..." — the
+/// greeting every session (stdin REPL or socket connection) opens with.
+void WriteServingBanner(SessionWriter& writer, const Snapshot& snapshot);
+
 /// Interactive session: reads commands from `in` until quit/EOF.
-/// Requires a published snapshot (PublishInitial first).
+/// Requires a published snapshot (PublishInitial first). The session
+/// holds its own EpochManager subscription, so any number of concurrent
+/// sessions may share one service + manager.
 Result<SessionSummary> RunStreamingSession(std::istream& in,
                                            SessionWriter& writer,
                                            QueryService& service,

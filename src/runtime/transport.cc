@@ -1,0 +1,304 @@
+#include "runtime/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "runtime/session.h"
+#include "service/snapshot.h"
+
+namespace dphist::runtime {
+namespace {
+
+/// The session protocol is strict request/response over tiny lines;
+/// Nagle + delayed ACK would serialize every round trip at ~40 ms.
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Status ErrnoStatus(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- FdStreamBuf
+
+FdStreamBuf::FdStreamBuf(int fd) : fd_(fd) {
+  setg(in_buf_, in_buf_, in_buf_);
+  setp(out_buf_, out_buf_ + kBufSize);
+}
+
+FdStreamBuf::int_type FdStreamBuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  ssize_t n;
+  do {
+    n = ::recv(fd_, in_buf_, kBufSize, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return traits_type::eof();  // peer closed or socket error
+  setg(in_buf_, in_buf_, in_buf_ + static_cast<std::size_t>(n));
+  return traits_type::to_int_type(*gptr());
+}
+
+bool FdStreamBuf::FlushOut() {
+  const char* begin = pbase();
+  const char* end = pptr();
+  while (begin < end) {
+    // MSG_NOSIGNAL: a client hanging up mid-answer must surface as a
+    // stream error on this session, not SIGPIPE the whole server.
+    ssize_t n = ::send(fd_, begin, static_cast<std::size_t>(end - begin),
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      setp(out_buf_, out_buf_ + kBufSize);
+      return false;
+    }
+    begin += n;
+  }
+  setp(out_buf_, out_buf_ + kBufSize);
+  return true;
+}
+
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type ch) {
+  if (pptr() == epptr() && !FlushOut()) return traits_type::eof();
+  if (traits_type::eq_int_type(ch, traits_type::eof())) {
+    return traits_type::not_eof(ch);
+  }
+  *pptr() = traits_type::to_char_type(ch);
+  pbump(1);
+  return ch;
+}
+
+int FdStreamBuf::sync() { return FlushOut() ? 0 : -1; }
+
+// ---------------------------------------------------------- SocketStream
+
+SocketStream::SocketStream(int fd)
+    : std::iostream(nullptr), buf_(fd), fd_(fd) {
+  rdbuf(&buf_);
+}
+
+SocketStream::~SocketStream() {
+  buf_.pubsync();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SocketStream::Shutdown() { ::shutdown(fd_, SHUT_RDWR); }
+
+Result<std::unique_ptr<SocketStream>> ConnectLoopback(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    Status status = ErrnoStatus("connect");
+    ::close(fd);
+    return status;
+  }
+  SetNoDelay(fd);
+  return std::make_unique<SocketStream>(fd);
+}
+
+// ---------------------------------------------------------- SocketServer
+
+SocketServer::SocketServer(QueryService& service, EpochManager& manager,
+                           const TransportOptions& options)
+    : service_(service), manager_(manager), options_(options) {}
+
+SocketServer::~SocketServer() { Stop(); }
+
+Status SocketServer::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (listen_fd_ >= 0) return Status::FailedPrecondition("already started");
+  if (options_.port < 0 || options_.port > 65535) {
+    return Status::InvalidArgument("port must be in [0, 65535]");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status = ErrnoStatus("bind");
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, options_.backlog) < 0) {
+    Status status = ErrnoStatus("listen");
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    Status status = ErrnoStatus("getsockname");
+    ::close(fd);
+    return status;
+  }
+  listen_fd_ = fd;
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  accept_done_ = false;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+int SocketServer::port() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return port_;
+}
+
+void SocketServer::AcceptLoop() {
+  std::int64_t accepted = 0;
+  while (true) {
+    int listen_fd;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) break;
+      if (options_.max_sessions > 0 && accepted >= options_.max_sessions) {
+        break;
+      }
+      listen_fd = listen_fd_;
+    }
+    // Poll with a short timeout instead of blocking in accept forever:
+    // Stop() only has to flip `stopping_` and wait one tick — no
+    // close-while-accepting race.
+    pollfd pfd{};
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      // Only a dead listener ends the loop; transient conditions
+      // (EMFILE/ENFILE fd exhaustion, ENOMEM, aborted handshakes) must
+      // not silently kill a long-lived server — the poll timeout above
+      // already provides retry backoff.
+      if (errno == EBADF || errno == EINVAL) break;
+      continue;
+    }
+    SetNoDelay(fd);
+    auto stream = std::make_shared<SocketStream>(fd);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) break;  // stream dtor closes the connection
+      stats_.accepted += 1;
+      // Prune expired entries so a long-lived server's bookkeeping
+      // stays proportional to live connections.
+      std::erase_if(active_streams_,
+                    [](const std::weak_ptr<SocketStream>& weak) {
+                      return weak.expired();
+                    });
+      active_streams_.push_back(stream);
+      session_threads_.emplace_back(
+          [this, stream] { ServeConnection(stream); });
+    }
+    ++accepted;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    accept_done_ = true;
+  }
+  accept_done_cv_.notify_all();
+}
+
+void SocketServer::ServeConnection(std::shared_ptr<SocketStream> stream) {
+  SessionWriter writer(*stream);
+  std::shared_ptr<const Snapshot> snapshot = service_.snapshot();
+  SessionSummary summary;
+  Status status = Status::Ok();
+  if (snapshot == nullptr) {
+    status = Status::FailedPrecondition(
+        "socket session needs a published snapshot");
+    writer.Error(status);
+  } else {
+    WriteServingBanner(writer, *snapshot);
+    writer.Flush();
+    Result<SessionSummary> session = RunStreamingSession(
+        *stream, writer, service_, manager_, options_.loop);
+    if (session.ok()) {
+      summary = session.value();
+      std::ostringstream text;
+      text << "served " << summary.queries << " queries from epoch "
+           << (summary.last_epoch != 0 ? summary.last_epoch
+                                       : service_.current_epoch());
+      writer.Comment(text.str());
+    } else {
+      status = session.status();
+      writer.Error(status);
+    }
+  }
+  writer.Flush();
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.completed += 1;
+  stats_.queries += summary.queries;
+  if (!status.ok()) stats_.session_errors += 1;
+  // The stream (and its fd) dies with the last shared_ptr — here,
+  // unless Stop() is concurrently holding one to shut it down.
+}
+
+void SocketServer::JoinAll() {
+  // Wait for the accept loop to finish spawning sessions, then join
+  // everything exactly once (swap-out makes concurrent callers safe).
+  std::thread acceptor;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    accept_done_cv_.wait(lock, [this] { return accept_done_; });
+    acceptor.swap(accept_thread_);
+  }
+  if (acceptor.joinable()) acceptor.join();
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessions.swap(session_threads_);
+  }
+  for (std::thread& session : sessions) session.join();
+}
+
+void SocketServer::Stop() {
+  std::vector<std::shared_ptr<SocketStream>> to_shutdown;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    for (const std::weak_ptr<SocketStream>& weak : active_streams_) {
+      if (auto stream = weak.lock()) to_shutdown.push_back(stream);
+    }
+  }
+  // Unblock session threads parked in a socket read; their sessions end
+  // as if the client hung up.
+  for (const auto& stream : to_shutdown) stream->Shutdown();
+  JoinAll();
+}
+
+void SocketServer::WaitUntilStopped() { JoinAll(); }
+
+SocketServer::Stats SocketServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dphist::runtime

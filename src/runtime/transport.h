@@ -1,0 +1,178 @@
+// Socket transport for the serving runtime: real network traffic into
+// the stream-agnostic session layer.
+//
+// SocketServer binds a loopback/TCP listening socket and runs one
+// accept loop; every accepted connection gets its own thread running
+// RunStreamingSession (the same grammar and executor as `serve
+// --stdin`) over an iostream wrapped around the connection's fd. All
+// connections share ONE QueryService and ONE EpochManager:
+//
+//   - each connection owns a private SessionWriter over its own socket
+//     stream, so per-connection transcripts can never interleave
+//     mid-line;
+//   - each session holds its own EpochManager subscription, so every
+//     client sees every completed replan announcement ("# planned ..."
+//     lines) exactly once — one client draining the completion queue
+//     cannot steal another's;
+//   - queries from every connection feed the same observed-traffic
+//     profile, so the every-N and drift triggers fire on the aggregate
+//     load, and a republish lands for all clients at once (each
+//     in-flight batch still finishes under the epoch it started on).
+//
+// A session opens with the same "# serving ..." banner as the stdin
+// REPL and closes with a "# served N queries ..." receipt, so a socket
+// transcript reads exactly like a local one.
+//
+// SocketStream / ConnectLoopback are exposed for clients (tests, the
+// socket bench, and anything else that wants to drive a server from
+// C++ without shelling out).
+
+#ifndef DPHIST_RUNTIME_TRANSPORT_H_
+#define DPHIST_RUNTIME_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <streambuf>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/epoch_manager.h"
+#include "runtime/serving_loop.h"
+#include "service/query_service.h"
+
+namespace dphist::runtime {
+
+/// Buffered std::streambuf over a connected socket fd (both
+/// directions). Does not own the fd.
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd);
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type ch) override;
+  int sync() override;
+
+ private:
+  /// Writes every pending output byte (looping over short writes).
+  bool FlushOut();
+
+  static constexpr std::size_t kBufSize = 1 << 13;
+  int fd_;
+  char in_buf_[kBufSize];
+  char out_buf_[kBufSize];
+};
+
+/// Owning iostream over a connected socket: closes the fd on
+/// destruction, flushing buffered output first.
+class SocketStream : public std::iostream {
+ public:
+  explicit SocketStream(int fd);
+  ~SocketStream() override;
+
+  SocketStream(const SocketStream&) = delete;
+  SocketStream& operator=(const SocketStream&) = delete;
+
+  int fd() const { return fd_; }
+
+  /// Shuts the socket down in both directions, unblocking a thread
+  /// parked in a read. Safe to call from another thread.
+  void Shutdown();
+
+ private:
+  FdStreamBuf buf_;
+  int fd_;
+};
+
+/// Connects to 127.0.0.1:`port` and returns a ready client stream
+/// (TCP_NODELAY set: the session protocol is request/response).
+Result<std::unique_ptr<SocketStream>> ConnectLoopback(int port);
+
+struct TransportOptions {
+  /// Port to listen on; 0 asks the kernel for an ephemeral port (read
+  /// the resolved one from SocketServer::port()).
+  int port = 0;
+  /// Listen backlog.
+  int backlog = 16;
+  /// Accept at most this many connections, then stop accepting and let
+  /// WaitUntilStopped return once they finish; 0 = accept until Stop().
+  std::int64_t max_sessions = 0;
+  /// Per-session serving-loop knobs (interactive sessions answer on
+  /// their connection thread; concurrency comes from having many
+  /// connections plus the manager's replan worker).
+  ServingLoopOptions loop;
+};
+
+/// Loopback/TCP listener fanning connections into streaming sessions
+/// over one shared QueryService + EpochManager. All public methods are
+/// thread-safe.
+class SocketServer {
+ public:
+  /// The service must already have a published snapshot (PublishInitial
+  /// first) before Start() accepts the first connection.
+  SocketServer(QueryService& service, EpochManager& manager,
+               const TransportOptions& options);
+
+  /// Stops and joins everything.
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds 127.0.0.1:port, listens, and starts the accept loop.
+  Status Start();
+
+  /// The bound port (resolves port 0); 0 before Start().
+  int port() const;
+
+  /// Stops accepting, shuts down every active connection, and joins
+  /// the accept loop and all session threads. Idempotent.
+  void Stop();
+
+  /// Blocks until the accept loop has exited (Stop() was called, or
+  /// max_sessions connections were accepted) and every session thread
+  /// has finished. Does NOT force active sessions to end.
+  void WaitUntilStopped();
+
+  struct Stats {
+    std::uint64_t accepted = 0;        // connections accepted
+    std::uint64_t completed = 0;       // sessions ended (incl. errors)
+    std::uint64_t session_errors = 0;  // sessions that ended in error
+    std::uint64_t queries = 0;         // ranges answered across sessions
+  };
+  Stats stats() const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(std::shared_ptr<SocketStream> stream);
+
+  /// Waits for the accept loop to exit, then joins it and every session
+  /// thread. Safe to call concurrently (each thread is joined once).
+  void JoinAll();
+
+  QueryService& service_;
+  EpochManager& manager_;
+  const TransportOptions options_;
+
+  mutable std::mutex mutex_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  bool stopping_ = false;
+  /// True once the accept loop has exited (and before Start()), so
+  /// JoinAll never waits on a loop that was never started.
+  bool accept_done_ = true;
+  std::condition_variable accept_done_cv_;
+  std::thread accept_thread_;
+  std::vector<std::thread> session_threads_;
+  /// Streams of live connections, so Stop() can unblock their reads.
+  std::vector<std::weak_ptr<SocketStream>> active_streams_;
+  Stats stats_;
+};
+
+}  // namespace dphist::runtime
+
+#endif  // DPHIST_RUNTIME_TRANSPORT_H_

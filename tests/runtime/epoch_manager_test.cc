@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -200,6 +201,201 @@ TEST(EpochManagerTest, StaleCacheEntriesUnreachableAfterReplan) {
   EXPECT_EQ(service.cache_stats().hits, hits_before);
 }
 
+// Subscriber queues are independent: every broadcast lands in every
+// queue exactly once, a manual replan skips its reporter (the caller
+// prints it directly), and a late subscriber sees nothing from before
+// it subscribed.
+TEST(EpochManagerTest, SubscriberQueuesAreIndependent) {
+  const std::int64_t n = 64;
+  Histogram data = TestData(n);
+  QueryService service;
+  EpochManagerOptions options;
+  options.base.strategy = StrategyKind::kHTilde;
+  options.replan_every = 4;
+  options.async = false;
+  EpochManager manager(&service, data, options, 7);
+  ASSERT_TRUE(manager.PublishInitial().ok());
+
+  const EpochManager::SubscriberId a = manager.Subscribe();
+  const EpochManager::SubscriberId b = manager.Subscribe();
+
+  std::vector<double> answer(1);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    Interval q(i, i);
+    service.QueryBatch(&q, 1, answer.data());
+  }
+  ASSERT_TRUE(manager.Poll());  // every-N republish -> epoch 2
+
+  // Both subscribers get the announcement; draining one queue does not
+  // touch the other, and a second take is empty.
+  auto taken_a = manager.TakeCompleted(a);
+  ASSERT_EQ(taken_a.size(), 1u);
+  EXPECT_EQ(taken_a[0].epoch, 2u);
+  EXPECT_EQ(taken_a[0].trigger, ReplanTrigger::kEveryN);
+  EXPECT_TRUE(manager.TakeCompleted(a).empty());
+  auto taken_b = manager.TakeCompleted(b);
+  ASSERT_EQ(taken_b.size(), 1u);
+  EXPECT_EQ(taken_b[0].epoch, 2u);
+
+  // A manual replan reported by session `a` is skipped in a's queue and
+  // still announced to b.
+  auto manual = manager.ReplanNow(a);
+  ASSERT_TRUE(manual.ok()) << manual.status().ToString();
+  EXPECT_EQ(manual.value().epoch, 3u);
+  EXPECT_TRUE(manager.TakeCompleted(a).empty());
+  taken_b = manager.TakeCompleted(b);
+  ASSERT_EQ(taken_b.size(), 1u);
+  EXPECT_EQ(taken_b[0].epoch, 3u);
+  EXPECT_EQ(taken_b[0].trigger, ReplanTrigger::kManual);
+
+  // A subscriber that joins now has missed everything so far.
+  const EpochManager::SubscriberId late = manager.Subscribe();
+  EXPECT_TRUE(manager.TakeCompleted(late).empty());
+
+  // Unsubscribed queues stop accumulating (and unknown ids are inert).
+  manager.Unsubscribe(b);
+  ASSERT_TRUE(manager.ReplanNow().ok());
+  EXPECT_TRUE(manager.TakeCompleted(b).empty());
+  auto taken_late = manager.TakeCompleted(late);
+  ASSERT_EQ(taken_late.size(), 1u);
+  EXPECT_EQ(taken_late[0].epoch, 4u);
+  manager.Unsubscribe(a);
+  manager.Unsubscribe(late);
+}
+
+// Regression test for the PublishInitial epsilon-budget TOCTOU: an
+// async replan request is already pending when a second PublishInitial
+// arrives, and the budget only has room for one of them. PublishInitial
+// must serialize behind the replan (the busy token) and come back with
+// a graceful FailedPrecondition — before the fix it checked CanSpend,
+// published unlocked, and then CHECK-aborted when the replan had
+// drained the budget in between. Runs under the TSan CI job.
+TEST(EpochManagerTest, PublishInitialBudgetRaceIsGraceful) {
+  const std::int64_t n = 64;
+  Histogram data = TestData(n);
+  QueryService service;
+  EpochManagerOptions options;
+  options.base.strategy = StrategyKind::kHTilde;
+  options.base.epsilon = 1.0;
+  options.epsilon_budget = 2.0;  // room for the initial publish + ONE more
+  options.replan_every = 1;
+  options.async = true;
+  EpochManager manager(&service, data, options, 7);
+  ASSERT_TRUE(manager.PublishInitial().ok());
+
+  // Queue an async replan (it will spend the last unit of budget)...
+  std::vector<double> answer(1);
+  Interval q(0, 0);
+  service.QueryBatch(&q, 1, answer.data());
+  ASSERT_TRUE(manager.Poll());
+
+  // ...and race a second initial publish against it. It must wait for
+  // the in-flight replan, observe the exhausted budget, and refuse
+  // gracefully instead of aborting the server.
+  auto refused = manager.PublishInitial();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+
+  manager.Drain();
+  const EpochManager::Stats stats = manager.stats();
+  EXPECT_EQ(stats.republishes, 2u);  // initial + the every-N replan
+  EXPECT_EQ(stats.budget_refusals, 1u);
+  EXPECT_DOUBLE_EQ(stats.epsilon_spent, 2.0);
+  EXPECT_EQ(service.current_epoch(), 2u);  // still serving
+  double out = 0.0;
+  EXPECT_EQ(service.Query(Interval(0, 5), &out), 2u);
+}
+
+// The multi-session satellite: two threaded sessions share one manager,
+// each streaming traffic, polling its own subscription, and firing one
+// manual replan. Every session must see every republished epoch exactly
+// once — its own manual replans via the direct return value, everything
+// else via its queue — with no lost or duplicated announcements. Runs
+// under the TSan CI job.
+TEST(EpochManagerTest, TwoThreadedSessionsEachSeeEveryRepublishOnce) {
+  const std::int64_t n = 64;
+  Histogram data = TestData(n);
+  QueryService service;
+  EpochManagerOptions options;
+  options.base.strategy = StrategyKind::kHTilde;
+  options.base.epsilon = 0.5;
+  options.replan_every = 60;
+  options.async = true;
+  EpochManager manager(&service, data, options, 7);
+  EpochSubscription subs[2] = {EpochSubscription(manager),
+                               EpochSubscription(manager)};
+  ASSERT_TRUE(manager.PublishInitial().ok());
+
+  struct SessionLog {
+    std::vector<std::uint64_t> queued_epochs;  // from TakeCompleted
+    std::uint64_t manual_epoch = 0;            // from ReplanNow directly
+  };
+  SessionLog logs[2];
+
+  std::vector<std::thread> sessions;
+  for (int t = 0; t < 2; ++t) {
+    sessions.emplace_back([&, t] {
+      const EpochManager::SubscriberId id = subs[t].id();
+      Rng rng(200 + static_cast<std::uint64_t>(t));
+      std::vector<Interval> batch(4, Interval(0, 0));
+      std::vector<double> answers(4);
+      for (int iter = 0; iter < 40; ++iter) {
+        for (auto& range : batch) {
+          const std::int64_t lo = rng.NextInt(0, n - 2);
+          range = Interval(lo, rng.NextInt(lo, n - 1));
+        }
+        service.QueryBatch(batch.data(), batch.size(), answers.data());
+        manager.Poll();
+        for (const ReplanOutcome& outcome : manager.TakeCompleted(id)) {
+          ASSERT_TRUE(outcome.status.ok());
+          ASSERT_TRUE(outcome.republished);
+          logs[t].queued_epochs.push_back(outcome.epoch);
+        }
+        if (iter == 10) {
+          auto manual = manager.ReplanNow(id);
+          ASSERT_TRUE(manual.ok()) << manual.status().ToString();
+          logs[t].manual_epoch = manual.value().epoch;
+        }
+      }
+    });
+  }
+  for (std::thread& session : sessions) session.join();
+  manager.Drain();
+  for (int t = 0; t < 2; ++t) {
+    for (const ReplanOutcome& outcome :
+         manager.TakeCompleted(subs[t].id())) {
+      ASSERT_TRUE(outcome.status.ok());
+      logs[t].queued_epochs.push_back(outcome.epoch);
+    }
+  }
+
+  const EpochManager::Stats stats = manager.stats();
+  ASSERT_EQ(stats.manual, 2u);
+  ASSERT_GE(stats.every, 1u);  // 320 queries over replan_every=60
+  EXPECT_EQ(stats.announcements_dropped, 0u);
+  // Republished epochs are 2..K+1 (the initial publish made epoch 1 and
+  // is returned directly, never broadcast).
+  const std::uint64_t last_epoch = stats.republishes;  // == 1 + replans
+  for (int t = 0; t < 2; ++t) {
+    // No session sees its own manual replan through its queue...
+    for (std::uint64_t epoch : logs[t].queued_epochs) {
+      EXPECT_NE(epoch, logs[t].manual_epoch)
+          << "session " << t << " was echoed its own manual replan";
+    }
+    // ...and (queue + direct manual) covers every republished epoch
+    // exactly once: nothing lost, nothing duplicated.
+    std::vector<std::uint64_t> seen = logs[t].queued_epochs;
+    seen.push_back(logs[t].manual_epoch);
+    std::sort(seen.begin(), seen.end());
+    ASSERT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end())
+        << "session " << t << " got a duplicated announcement";
+    ASSERT_EQ(seen.size(), static_cast<std::size_t>(last_epoch - 1));
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i], static_cast<std::uint64_t>(i + 2));
+    }
+  }
+}
+
 // The satellite's threaded lifecycle test: reader threads stream batches
 // while the manager's every-N trigger republishes asynchronously. Every
 // recorded batch must be answerable bit-for-bit from the snapshot of the
@@ -218,6 +414,9 @@ TEST(EpochManagerTest, ReplanLifecycleUnderConcurrentReaders) {
   options.replan_every = 150;
   options.async = true;
   EpochManager manager(&service, data, options, 7);
+  // Subscribed before any replan can fire, so every completed outcome
+  // is delivered here.
+  EpochSubscription subscription(manager);
   auto initial = manager.PublishInitial();
   ASSERT_TRUE(initial.ok());
 
@@ -284,7 +483,8 @@ TEST(EpochManagerTest, ReplanLifecycleUnderConcurrentReaders) {
   std::map<std::uint64_t, std::shared_ptr<const Snapshot>> snapshots;
   snapshots[initial.value().epoch] = initial.value().snapshot;
   std::uint64_t republishes = 0;
-  for (const ReplanOutcome& outcome : manager.TakeCompleted()) {
+  for (const ReplanOutcome& outcome :
+       manager.TakeCompleted(subscription.id())) {
     ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
     if (!outcome.republished) continue;
     snapshots[outcome.epoch] = outcome.snapshot;

@@ -2,13 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/csv.h"
+#include "runtime/transport.h"
 
 namespace dphist::cli {
 namespace {
@@ -565,6 +568,125 @@ TEST(CliTest, ServeQueriesFileAcceptsSessionCommands) {
       << out;
   std::remove(data_path.c_str());
   std::remove(queries_path.c_str());
+}
+
+TEST(CliTest, ServeListenServesTwoConcurrentClients) {
+  // Network mode end to end through the real flag wiring: the server
+  // publishes once, writes the resolved ephemeral port to --port-file,
+  // serves exactly --max-sessions connections, and exits with a
+  // listener summary. Two concurrent clients replay the same script;
+  // with a huge epsilon and integer rounding their answer lines agree
+  // byte-for-byte whatever epoch each command lands on.
+  std::string data_path = TempPath("cli_listen_data.csv");
+  std::string port_path = TempPath("cli_listen_port.txt");
+  std::remove(port_path.c_str());
+  std::string out, err;
+  ASSERT_EQ(RunMain({"generate", "--dataset", "social", "--output",
+                     data_path.c_str(), "--size", "128"},
+                    &out, &err),
+            0)
+      << err;
+
+  std::string server_out, server_err;
+  int server_code = -1;
+  std::thread server_thread([&] {
+    server_code = RunMain({"serve", "--input", data_path.c_str(),
+                           "--listen", "0", "--max-sessions", "2",
+                           "--epsilon", "400", "--strategy", "hbar",
+                           "--replan-every", "8", "--port-file",
+                           port_path.c_str()},
+                          &server_out, &server_err);
+  });
+
+  // The port file appears once the listener is up.
+  int port = 0;
+  for (int i = 0; i < 200 && port == 0; ++i) {
+    std::ifstream port_file(port_path);
+    if (!(port_file >> port)) {
+      port = 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  ASSERT_GT(port, 0) << "server never wrote its port file";
+
+  const std::string script =
+      "q 0 7\nq 8 15\nq 16 31\nq 0 127\nq 64 64\n"
+      "qb 3 0 0 1 1 2 2\nquit\n";
+  auto run_client = [&](std::vector<std::string>* transcript) {
+    auto stream = runtime::ConnectLoopback(port);
+    ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+    *stream.value() << script;
+    stream.value()->flush();
+    std::string line;
+    while (std::getline(*stream.value(), line)) transcript->push_back(line);
+  };
+  std::vector<std::string> transcripts[2];
+  std::thread clients[2];
+  for (int t = 0; t < 2; ++t) {
+    clients[t] = std::thread([&, t] { run_client(&transcripts[t]); });
+  }
+  for (std::thread& client : clients) client.join();
+  server_thread.join();
+
+  EXPECT_EQ(server_code, 0) << server_err;
+  EXPECT_NE(server_out.find("# listening port="), std::string::npos)
+      << server_out;
+  EXPECT_NE(server_out.find("# served 16 queries over 2 sessions"),
+            std::string::npos)
+      << server_out;
+
+  auto answers = [](const std::vector<std::string>& lines) {
+    std::vector<std::string> kept;
+    for (const std::string& line : lines) {
+      if (!line.empty() && line[0] != '#') kept.push_back(line);
+    }
+    return kept;
+  };
+  for (int t = 0; t < 2; ++t) {
+    ASSERT_FALSE(transcripts[t].empty());
+    EXPECT_EQ(transcripts[t][0].rfind("# serving n=128", 0), 0u)
+        << transcripts[t][0];
+    EXPECT_EQ(answers(transcripts[t]).size(), 8u);
+    EXPECT_NE(transcripts[t].back().find("# served 8 queries"),
+              std::string::npos)
+        << transcripts[t].back();
+  }
+  EXPECT_EQ(answers(transcripts[0]), answers(transcripts[1]));
+
+  std::remove(data_path.c_str());
+  std::remove(port_path.c_str());
+}
+
+TEST(CliTest, ServeListenValidatesFlags) {
+  std::string data_path = TempPath("cli_listen_flags_data.csv");
+  std::string out, err;
+  ASSERT_EQ(RunMain({"generate", "--dataset", "social", "--output",
+                     data_path.c_str(), "--size", "64"},
+                    &out, &err),
+            0)
+      << err;
+  // --stdin and --listen are exclusive.
+  EXPECT_EQ(RunMainWithInput("quit\n",
+                             {"serve", "--input", data_path.c_str(),
+                              "--stdin", "--listen", "0", "--epsilon", "1"},
+                             &out, &err),
+            1);
+  EXPECT_NE(err.find("exclusive"), std::string::npos) << err;
+  // A workload file cannot ride along with a listener either — it
+  // would be silently ignored.
+  EXPECT_EQ(RunMain({"serve", "--input", data_path.c_str(), "--queries",
+                     "/tmp/nope.txt", "--listen", "0", "--epsilon", "1",
+                     "--max-sessions", "1"},
+                    &out, &err),
+            1);
+  EXPECT_NE(err.find("exclusive"), std::string::npos) << err;
+  // Out-of-range port is rejected before any publish is attempted.
+  EXPECT_EQ(RunMain({"serve", "--input", data_path.c_str(), "--listen",
+                     "70000", "--epsilon", "1", "--max-sessions", "1"},
+                    &out, &err),
+            1);
+  EXPECT_NE(err.find("port"), std::string::npos) << err;
+  std::remove(data_path.c_str());
 }
 
 TEST(CliTest, MissingInputFileSurfacesIoError) {

@@ -22,6 +22,7 @@
 #include "runtime/epoch_manager.h"
 #include "runtime/serving_loop.h"
 #include "runtime/session.h"
+#include "runtime/transport.h"
 #include "service/query_service.h"
 
 namespace dphist::cli {
@@ -37,7 +38,8 @@ constexpr char kUsage[] =
     "                    [--no-prune] [--no-round] [--seed S]\n"
     "  release-sorted    --input P --output P --epsilon E [--seed S]\n"
     "  query             --release P --lo X --hi Y\n"
-    "  serve             --input P --epsilon E (--queries P | --stdin)\n"
+    "  serve             --input P --epsilon E\n"
+    "                    (--queries P | --stdin | --listen PORT)\n"
     "                    [--strategy hbar|htilde|ltilde|wavelet|auto]\n"
     "                    [--branching K] [--shards S] [--cache N]\n"
     "                    [--threads T] [--build-threads B] [--seed S]\n"
@@ -47,8 +49,12 @@ constexpr char kUsage[] =
     "                    [--replan-every N] [--replan-drift X]\n"
     "                    [--drift-check-every N] [--replan-sync]\n"
     "                    [--reservoir N] [--epsilon-budget B]\n"
+    "                    [--max-sessions N] [--port-file P]  (--listen)\n"
     "                    (--stdin REPL: q lo hi | qb k lo hi ... |\n"
     "                     stats | replan | quit)\n"
+    "                    (--listen 0 picks an ephemeral port; every\n"
+    "                     connection is its own REPL session over one\n"
+    "                     shared release lifecycle)\n"
     "  plan              --queries P --epsilon E (--input P | --domain N)\n"
     "                    [--branching K] [--max-shards M]\n"
     "                    [--strategies a,b,c] [--objective mean|worst]\n"
@@ -233,7 +239,14 @@ Status RunServe(const Flags& flags, std::istream& in, std::ostream& out) {
     if (!s.ok()) return s;
   }
   const bool streaming = flags.GetBool("stdin", false);
-  if (!streaming) {
+  const bool listening = flags.Has("listen");
+  if ((streaming && listening) ||
+      (listening && flags.Has("queries")) ||
+      (streaming && flags.Has("queries"))) {
+    return Status::InvalidArgument(
+        "--queries, --stdin, and --listen are exclusive");
+  }
+  if (!streaming && !listening) {
     Status s = RequireFlag(flags, "queries");
     if (!s.ok()) return s;
   }
@@ -298,6 +311,67 @@ Status RunServe(const Flags& flags, std::istream& in, std::ostream& out) {
 
   runtime::SessionSummary summary;
   Result<runtime::ReplanOutcome> initial = Status::Internal("unset");
+  if (listening) {
+    // Network mode: publish once, then let the socket transport fan
+    // accepted connections into streaming sessions over this one
+    // service + manager. Each connection greets and reports on its own
+    // socket; `out` only carries the listener lifecycle lines.
+    runtime::TransportOptions transport_options;
+    transport_options.port = static_cast<int>(flags.GetInt("listen", 0));
+    if (transport_options.port < 0 || transport_options.port > 65535) {
+      return Status::InvalidArgument("listen port must be in [0, 65535]");
+    }
+    transport_options.max_sessions = flags.GetInt("max-sessions", 0);
+    if (transport_options.max_sessions < 0) {
+      return Status::InvalidArgument("max-sessions must be >= 0");
+    }
+    transport_options.loop = loop_options;
+
+    initial = manager.PublishInitial();
+    if (!initial.ok()) return initial.status();
+    runtime::SocketServer server(service, manager, transport_options);
+    Status started = server.Start();
+    if (!started.ok()) return started;
+
+    const Snapshot& snap = *initial.value().snapshot;
+    out << "# listening port=" << server.port() << " n=" << n
+        << " epoch=" << snap.epoch() << " strategy="
+        << StrategyKindName(snap.strategy()) << " eps=" << snap.epsilon()
+        << "\n";
+    out.flush();
+    // Scripts read the resolved port from --port-file instead of
+    // scraping stdout (the CI smoke and the in-process CLI test do).
+    if (flags.Has("port-file")) {
+      std::ofstream port_file(flags.GetString("port-file", ""));
+      if (!port_file) {
+        server.Stop();
+        return Status::IoError("cannot write port file");
+      }
+      port_file << server.port() << "\n";
+    }
+
+    if (transport_options.max_sessions > 0) {
+      // Bounded run: exit once the configured number of sessions has
+      // been served (the deterministic shape CI and tests rely on).
+      server.WaitUntilStopped();
+    } else {
+      // Unbounded run: `in` (stdin) is the shutdown control — EOF or a
+      // "quit" line stops the listener.
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line == "quit") break;
+      }
+    }
+    server.Stop();
+
+    const runtime::SocketServer::Stats tstats = server.stats();
+    AnswerCache::Stats cache = service.cache_stats();
+    out << "# served " << tstats.queries << " queries over "
+        << tstats.completed << " sessions (errors=" << tstats.session_errors
+        << ", cache hits=" << cache.hits << " misses=" << cache.misses
+        << ")\n";
+    return Status::Ok();
+  }
   if (streaming) {
     // REPL over `in`: publish first (auto plans against whatever has
     // been observed — nothing yet, so the neutral geometric sweep),
@@ -305,11 +379,7 @@ Status RunServe(const Flags& flags, std::istream& in, std::ostream& out) {
     initial = manager.PublishInitial();
     if (!initial.ok()) return initial.status();
     const Snapshot& snap = *initial.value().snapshot;
-    std::ostringstream banner;
-    banner << "serving n=" << n << " epoch=" << snap.epoch()
-           << " strategy=" << StrategyKindName(snap.strategy())
-           << " shards=" << snap.shard_count() << " eps=" << snap.epsilon();
-    writer.Comment(banner.str());
+    runtime::WriteServingBanner(writer, snap);
     if (initial.value().planned) {
       writer.PlanNote(initial.value().plan, snap.epoch(), "initial");
     }

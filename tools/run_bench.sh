@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Builds the benchmark suite in Release mode, runs
 # bench_micro_range_query, bench_service_throughput,
-# bench_snapshot_build, and bench_streaming_serve, and writes
-# BENCH_range_query.json, BENCH_service.json, BENCH_snapshot_build.json,
-# and BENCH_streaming.json at the repo root so the query-path,
-# serving-layer, publish-latency, and online-replan performance
-# trajectories are tracked from PR to PR.
+# bench_snapshot_build, bench_streaming_serve, and bench_socket_serve,
+# and writes BENCH_range_query.json, BENCH_service.json,
+# BENCH_snapshot_build.json, BENCH_streaming.json, and BENCH_socket.json
+# at the repo root so the query-path, serving-layer, publish-latency,
+# online-replan, and network-transport performance trajectories are
+# tracked from PR to PR.
 #
 # Usage: tools/run_bench.sh [extra micro_range_query flags...]
 #   e.g. tools/run_bench.sh --max-log2=16 --min-time-ms=100
@@ -21,7 +22,8 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release \
   -DDPHIST_BUILD_BENCH=ON >/dev/null
 cmake --build "${BUILD_DIR}" \
   --target bench_micro_range_query bench_service_throughput \
-  bench_snapshot_build bench_streaming_serve -j >/dev/null
+  bench_snapshot_build bench_streaming_serve bench_socket_serve \
+  -j >/dev/null
 
 OUT="${REPO_ROOT}/BENCH_range_query.json"
 "${BUILD_DIR}/bench_micro_range_query" "$@" > "${OUT}"
@@ -35,12 +37,16 @@ SNAPSHOT_OUT="${REPO_ROOT}/BENCH_snapshot_build.json"
 STREAMING_OUT="${REPO_ROOT}/BENCH_streaming.json"
 "${BUILD_DIR}/bench_streaming_serve" > "${STREAMING_OUT}"
 
+SOCKET_OUT="${REPO_ROOT}/BENCH_socket.json"
+"${BUILD_DIR}/bench_socket_serve" > "${SOCKET_OUT}"
+
 echo "wrote ${OUT}"
 echo "wrote ${SERVICE_OUT}"
 echo "wrote ${SNAPSHOT_OUT}"
 echo "wrote ${STREAMING_OUT}"
+echo "wrote ${SOCKET_OUT}"
 if command -v python3 >/dev/null 2>&1; then
-  python3 - "$OUT" "$SERVICE_OUT" "$SNAPSHOT_OUT" "$STREAMING_OUT" <<'EOF'
+  python3 - "$OUT" "$SERVICE_OUT" "$SNAPSHOT_OUT" "$STREAMING_OUT" "$SOCKET_OUT" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     data = json.load(f)
@@ -67,5 +73,13 @@ print(f"Streaming serve: {s['steady_state_qps']:.3g} q/s steady, "
       f"replan pause {s['replan_pause_seconds']*1e3:.3g} ms "
       f"(build {s['mean_replan_build_seconds']*1e3:.3g} ms, "
       f"{streaming['hardware_concurrency']} core(s))")
+with open(sys.argv[5]) as f:
+    socket_bench = json.load(f)
+s = socket_bench["summary"]
+print(f"Socket serve: {s['qps_at_min_connections']:.3g} q/s aggregate at "
+      f"{s['min_connections']} connection(s), "
+      f"{s['qps_at_max_connections']:.3g} at {s['max_connections']} "
+      f"({s['scaling_max_over_min']:.2f}x; "
+      f"{socket_bench['hardware_concurrency']} core(s))")
 EOF
 fi
