@@ -68,6 +68,20 @@ double StrategyL1Sensitivity(const linalg::Matrix& strategy) {
   return worst;
 }
 
+double HierarchicalStrategySensitivity(std::int64_t domain_size,
+                                       std::int64_t branching) {
+  return static_cast<double>(TreeLayout(domain_size, branching).height());
+}
+
+double WaveletStrategySensitivity(std::int64_t domain_size) {
+  DPHIST_CHECK_MSG(domain_size >= 1 &&
+                       (domain_size & (domain_size - 1)) == 0,
+                   "wavelet strategy needs a power-of-two domain");
+  std::int64_t levels = 0;
+  for (std::int64_t p = 1; p < domain_size; p *= 2) ++levels;
+  return static_cast<double>(1 + levels);
+}
+
 Result<StrategyAnalyzer> StrategyAnalyzer::Create(
     const linalg::Matrix& strategy, double epsilon) {
   if (epsilon <= 0.0) {

@@ -47,6 +47,19 @@ linalg::Matrix WaveletStrategy(std::int64_t domain_size);
 /// L1 sensitivity of a strategy: the maximum column absolute sum.
 double StrategyL1Sensitivity(const linalg::Matrix& strategy);
 
+/// Closed-form L1 sensitivity of HierarchicalStrategy(domain_size,
+/// branching) without materializing it: every real leaf has exactly
+/// `height` ancestors, so the sensitivity is the tree height at any
+/// width. The recurrence oracle (planner/recurrence_oracle.h) relies on
+/// this agreeing with StrategyL1Sensitivity of the built matrix.
+double HierarchicalStrategySensitivity(std::int64_t domain_size,
+                                       std::int64_t branching);
+
+/// Closed-form L1 sensitivity of WaveletStrategy(domain_size): the base
+/// row plus one detail row per dyadic level, 1 + log2(domain_size).
+/// Requires a power-of-two domain.
+double WaveletStrategySensitivity(std::int64_t domain_size);
+
 /// Precomputed analyzer for one strategy at one epsilon.
 class StrategyAnalyzer {
  public:

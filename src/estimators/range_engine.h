@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -32,12 +33,18 @@ class RangeCountEstimator {
   /// Convenience form of the batched path.
   std::vector<double> RangeCounts(const std::vector<Interval>& ranges) const;
 
-  /// True when a unit range ([x, x]) is answered in O(1) — a leaf read
-  /// or a prefix difference rather than a tree walk. The serving layer's
-  /// cache admission policy skips memoizing such answers: recomputing is
-  /// as cheap as the cache hit, so the entry would only squat on LRU
-  /// capacity that expensive ranges need (see Snapshot::AdmitToCache).
-  virtual bool UnitRangeIsO1() const { return false; }
+  /// Estimated work to recompute the answer for `range`, in units of one
+  /// O(1) lookup (1.0 = a leaf read or a prefix difference). The serving
+  /// layer's cache admission policy compares this against a threshold:
+  /// answers as cheap to recompute as a cache hit are not memoized, so
+  /// they never squat on LRU capacity that expensive ranges need (see
+  /// Snapshot::AdmitToCache). Must not allocate — it runs on the serving
+  /// hot path. The default assumes recomputation is expensive (an
+  /// unknown estimator's answers are always worth caching).
+  virtual double RangeCostHint(const Interval& range) const {
+    (void)range;
+    return std::numeric_limits<double>::infinity();
+  }
 
   /// Short name for reports ("L~", "H~", "H-bar", ...).
   virtual std::string Name() const = 0;

@@ -60,8 +60,11 @@ class LTildeEstimator : public RangeCountEstimator {
                        double* out) const override;
   std::string Name() const override { return "L~"; }
 
-  /// A unit range is one leaf read (plus optional rounding).
-  bool UnitRangeIsO1() const override { return true; }
+  /// Every range is one prefix difference (plus optional rounding).
+  double RangeCostHint(const Interval& range) const override {
+    (void)range;
+    return 1.0;
+  }
 
   /// Raw noisy per-position answers (rounding happens per range answer).
   const std::vector<double>& leaf_estimates() const { return leaves_; }
@@ -88,6 +91,13 @@ class HTildeEstimator : public RangeCountEstimator {
   void RangeCountsInto(const Interval* ranges, std::size_t count,
                        double* out) const override;
   std::string Name() const override { return "H~"; }
+
+  /// Every answer walks the minimal subtree decomposition — worth
+  /// caching (proportional to tree height, never O(1)).
+  double RangeCostHint(const Interval& range) const override {
+    (void)range;
+    return static_cast<double>(tree_.height());
+  }
 
   /// Tree geometry (shared with HBar when comparing like-for-like).
   const TreeLayout& tree() const { return tree_; }
@@ -146,8 +156,12 @@ class HBarEstimator : public RangeCountEstimator {
   /// enabling the O(1) prefix-sum answer path.
   bool uses_prefix_fast_path() const { return consistent_; }
 
-  /// Unit ranges are a prefix difference when the tree is consistent.
-  bool UnitRangeIsO1() const override { return consistent_; }
+  /// One prefix difference on the consistent fast path; otherwise a
+  /// decomposition walk proportional to the tree height.
+  double RangeCostHint(const Interval& range) const override {
+    (void)range;
+    return consistent_ ? 1.0 : static_cast<double>(tree_.height());
+  }
 
   const TreeLayout& tree() const { return tree_; }
 

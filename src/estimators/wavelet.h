@@ -65,6 +65,13 @@ class WaveletEstimator : public RangeCountEstimator {
   double RangeCount(const Interval& range) const override;
   std::string Name() const override { return "Wavelet"; }
 
+  /// Reconstruction happens once at build time; every answer afterwards
+  /// is one prefix difference over the reconstructed leaves.
+  double RangeCostHint(const Interval& range) const override {
+    (void)range;
+    return 1.0;
+  }
+
   /// Reconstructed per-position estimates (raw; domain-sized).
   const std::vector<double>& leaf_estimates() const { return leaves_; }
 

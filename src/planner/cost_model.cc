@@ -2,28 +2,29 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "common/check.h"
-#include "planner/variance_oracle.h"
 
 namespace dphist::planner {
+namespace {
 
-CostModel::CostModel(std::int64_t domain_size, const Options& options)
-    : domain_size_(domain_size), options_(options) {
-  DPHIST_CHECK_MSG(domain_size_ >= 1, "domain must be non-empty");
-  DPHIST_CHECK_MSG(options_.max_analyzer_width >= 1,
-                   "max_analyzer_width must be >= 1");
-  DPHIST_CHECK_MSG(options_.placements_per_length >= 1,
-                   "placements_per_length must be >= 1");
-}
+/// Uniform smoothing floor added to every placement's heat share before
+/// normalizing: one bin's worth of uniform traffic. Keeps placements in
+/// regions the observed stream never visited at a small positive weight
+/// (traffic shifts; a plan must not be blind outside yesterday's hot
+/// spots) while letting real heat dominate.
+constexpr double kPlacementHeatSmoothing =
+    1.0 / static_cast<double>(WorkloadProfile::kHeatBins);
 
-Result<QueryCost> CostModel::Evaluate(const SnapshotOptions& config,
-                                      const WorkloadProfile& profile) const {
+Status ValidateForCosting(const SnapshotOptions& config,
+                          const WorkloadProfile& profile,
+                          std::int64_t domain_size) {
   if (config.strategy == StrategyKind::kAuto) {
     return Status::InvalidArgument(
         "kAuto is a request to plan, not a configuration to cost");
   }
-  if (profile.domain_size() != domain_size_) {
+  if (profile.domain_size() != domain_size) {
     return Status::InvalidArgument("profile domain does not match");
   }
   if (profile.empty()) {
@@ -38,47 +39,190 @@ Result<QueryCost> CostModel::Evaluate(const SnapshotOptions& config,
   if (config.shards < 1) {
     return Status::InvalidArgument("shards must be >= 1");
   }
+  return Status::Ok();
+}
 
-  if (config.strategy == StrategyKind::kHBar ||
-      config.strategy == StrategyKind::kWavelet) {
-    // MaxAnalyzerWidth is exactly what the oracle's Gram factorization
-    // will be asked to handle (wavelet shards pad to a power of two).
-    const std::int64_t analyzer_width =
-        MaxAnalyzerWidth(config, domain_size_);
-    if (analyzer_width > options_.max_analyzer_width) {
-      return Status::OutOfRange(
-          "closed form infeasible: shard width " +
-          std::to_string(analyzer_width) + " exceeds analyzer cap " +
-          std::to_string(options_.max_analyzer_width));
-    }
+/// Dense-path feasibility gate (the recurrence path has no width limit).
+Status CheckDenseFeasible(const SnapshotOptions& config,
+                          std::int64_t domain_size,
+                          const CostModel::Options& options) {
+  if (!options.use_dense_oracle) return Status::Ok();
+  if (config.strategy != StrategyKind::kHBar &&
+      config.strategy != StrategyKind::kWavelet) {
+    return Status::Ok();
   }
+  // MaxAnalyzerWidth is exactly what the oracle's Gram factorization
+  // will be asked to handle (wavelet shards pad to a power of two).
+  const std::int64_t analyzer_width = MaxAnalyzerWidth(config, domain_size);
+  if (analyzer_width > options.max_analyzer_width) {
+    return Status::OutOfRange(
+        "closed form infeasible: shard width " +
+        std::to_string(analyzer_width) + " exceeds analyzer cap " +
+        std::to_string(options.max_analyzer_width));
+  }
+  return Status::Ok();
+}
 
-  // The oracle requires the linear protocol; rounding/pruning only ever
-  // shrink error (Section 5.2), so the linear cost ranks configurations
-  // as a monotone proxy either way.
+/// Builds the candidate's oracle over the linear protocol (the closed
+/// forms' precondition; rounding/pruning only ever shrink error, so the
+/// linear cost ranks configurations as a monotone proxy either way).
+Result<VarianceOracle> MakeOracle(const SnapshotOptions& config,
+                                  std::int64_t domain_size,
+                                  const CostModel::Options& options) {
   SnapshotOptions linear = config;
   linear.round_to_nonnegative_integers = false;
   linear.prune_nonpositive_subtrees = false;
-  VarianceOracle oracle(linear, domain_size_);
+  VarianceOracleOptions oracle_options;
+  oracle_options.use_dense_analyzer = options.use_dense_oracle;
+  return VarianceOracle::Create(linear, domain_size, oracle_options);
+}
+
+std::int64_t PlacementCount(std::int64_t domain_size, std::int64_t length,
+                            const CostModel::Options& options) {
+  const std::int64_t max_lo = domain_size - length;
+  return std::min(options.placements_per_length, max_lo + 1);
+}
+
+/// Evenly spaced placements, always including both extremes when more
+/// than one fits; deterministic so plans are reproducible.
+std::int64_t PlacementLo(std::int64_t domain_size, std::int64_t length,
+                         std::int64_t placements, std::int64_t p) {
+  const std::int64_t max_lo = domain_size - length;
+  return placements == 1 ? 0 : (p * max_lo) / (placements - 1);
+}
+
+/// The per-placement variances of one query length, in grid order — the
+/// only part of an evaluation that touches the oracle, and a pure
+/// function of (configuration, length): profile weights and heat never
+/// enter, which is what makes IncrementalCostModel's memo exact.
+std::vector<double> PlacementVariances(const VarianceOracle& oracle,
+                                       std::int64_t length,
+                                       const CostModel::Options& options) {
+  const std::int64_t domain_size = oracle.domain_size();
+  const std::int64_t placements =
+      PlacementCount(domain_size, length, options);
+  std::vector<double> variances;
+  variances.reserve(static_cast<std::size_t>(placements));
+  for (std::int64_t p = 0; p < placements; ++p) {
+    const std::int64_t lo = PlacementLo(domain_size, length, placements, p);
+    variances.push_back(oracle.RangeVariance(Interval(lo, lo + length - 1)));
+  }
+  return variances;
+}
+
+/// Folds one length's placement variances into its placement mean:
+/// uniform when the profile has no placement information, otherwise
+/// weighted by the (smoothed) observed traffic share at each placement's
+/// midpoint. Also folds into the running worst-case. Shared verbatim by
+/// CostModel::Evaluate and IncrementalCostModel so a cached re-cost can
+/// never diverge from a from-scratch evaluation.
+double FoldLength(const std::vector<double>& variances,
+                  const WorkloadProfile& profile, std::int64_t length,
+                  const CostModel::Options& options, double* worst) {
+  const std::int64_t domain_size = profile.domain_size();
+  const std::int64_t placements =
+      PlacementCount(domain_size, length, options);
+  DPHIST_CHECK_MSG(static_cast<std::size_t>(placements) == variances.size(),
+                   "placement grid and variance vector disagree");
+  const bool heat = profile.has_position_heat();
+  double weighted = 0.0;
+  double weight_sum = 0.0;
+  for (std::int64_t p = 0; p < placements; ++p) {
+    const double variance = variances[static_cast<std::size_t>(p)];
+    double weight = 1.0;
+    if (heat) {
+      const std::int64_t lo =
+          PlacementLo(domain_size, length, placements, p);
+      const std::int64_t midpoint = lo + (length - 1) / 2;
+      weight = profile.PositionHeat(midpoint) + kPlacementHeatSmoothing;
+    }
+    weighted += weight * variance;
+    weight_sum += weight;
+    *worst = std::max(*worst, variance);
+  }
+  return weighted / weight_sum;
+}
+
+}  // namespace
+
+CostModel::CostModel(std::int64_t domain_size, const Options& options)
+    : domain_size_(domain_size), options_(options) {
+  DPHIST_CHECK_MSG(domain_size_ >= 1, "domain must be non-empty");
+  DPHIST_CHECK_MSG(options_.max_analyzer_width >= 1,
+                   "max_analyzer_width must be >= 1");
+  DPHIST_CHECK_MSG(options_.placements_per_length >= 1,
+                   "placements_per_length must be >= 1");
+}
+
+Result<QueryCost> CostModel::Evaluate(const SnapshotOptions& config,
+                                      const WorkloadProfile& profile) const {
+  Status valid = ValidateForCosting(config, profile, domain_size_);
+  if (!valid.ok()) return valid;
+  Status feasible = CheckDenseFeasible(config, domain_size_, options_);
+  if (!feasible.ok()) return feasible;
+  Result<VarianceOracle> oracle = MakeOracle(config, domain_size_, options_);
+  if (!oracle.ok()) return oracle.status();
 
   QueryCost cost;
   double weighted_sum = 0.0;
   for (const auto& [length, weight] : profile.length_weights()) {
-    // Evenly spaced placements, always including both extremes when more
-    // than one fits; deterministic so plans are reproducible.
-    const std::int64_t max_lo = domain_size_ - length;
-    const std::int64_t placements =
-        std::min(options_.placements_per_length, max_lo + 1);
-    double sum = 0.0;
-    for (std::int64_t p = 0; p < placements; ++p) {
-      const std::int64_t lo =
-          placements == 1 ? 0 : (p * max_lo) / (placements - 1);
-      const double variance =
-          oracle.RangeVariance(Interval(lo, lo + length - 1));
-      sum += variance;
-      cost.worst_variance = std::max(cost.worst_variance, variance);
+    const std::vector<double> variances =
+        PlacementVariances(oracle.value(), length, options_);
+    weighted_sum += weight * FoldLength(variances, profile, length,
+                                        options_, &cost.worst_variance);
+  }
+  cost.mean_variance = weighted_sum / profile.total_weight();
+  return cost;
+}
+
+IncrementalCostModel::IncrementalCostModel(std::int64_t domain_size,
+                                           const CostModel::Options& options)
+    : model_(domain_size, options) {}
+
+Result<QueryCost> IncrementalCostModel::Evaluate(
+    const SnapshotOptions& config, const WorkloadProfile& profile) {
+  const std::int64_t domain_size = model_.domain_size();
+  const CostModel::Options& options = model_.options();
+  Status valid = ValidateForCosting(config, profile, domain_size);
+  if (!valid.ok()) return valid;
+  Status feasible = CheckDenseFeasible(config, domain_size, options);
+  if (!feasible.ok()) return feasible;
+
+  stats_.evaluations += 1;
+  if (!seen_profile_ || profile.length_weights() != last_weights_) {
+    stats_.generation += 1;
+    last_weights_ = profile.length_weights();
+    seen_profile_ = true;
+  }
+
+  const CandidateKey key{config.strategy, config.shards, config.branching,
+                         config.epsilon};
+  CandidateEntry& entry = candidates_[key];
+  if (entry.oracle == nullptr) {
+    Result<VarianceOracle> oracle = MakeOracle(config, domain_size, options);
+    if (!oracle.ok()) {
+      candidates_.erase(key);
+      return oracle.status();
     }
-    weighted_sum += weight * (sum / static_cast<double>(placements));
+    entry.oracle =
+        std::make_unique<VarianceOracle>(std::move(oracle).value());
+  }
+
+  QueryCost cost;
+  double weighted_sum = 0.0;
+  for (const auto& [length, weight] : profile.length_weights()) {
+    auto it = entry.lengths.find(length);
+    if (it == entry.lengths.end()) {
+      it = entry.lengths
+               .emplace(length,
+                        PlacementVariances(*entry.oracle, length, options))
+               .first;
+      stats_.lengths_costed += 1;
+    } else {
+      stats_.lengths_reused += 1;
+    }
+    weighted_sum += weight * FoldLength(it->second, profile, length,
+                                        options, &cost.worst_variance);
   }
   cost.mean_variance = weighted_sum / profile.total_weight();
   return cost;

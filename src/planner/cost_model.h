@@ -7,24 +7,37 @@
 // WorkloadProfile: for each observed query length it averages the
 // variance over a deterministic set of placements (variance depends on
 // where a range falls relative to shard and subtree boundaries, not just
-// on its length), then weights by how often the length occurs. The
-// result is the expected squared error per query — the quantity the
-// planner minimizes.
+// on its length), then weights by how often the length occurs. When the
+// profile carries position heat (reservoir-exported traffic), each
+// placement is weighted by the observed traffic share at its midpoint —
+// plus a uniform smoothing floor so cold regions keep a voice — instead
+// of uniformly. The result is the expected squared error per query — the
+// quantity the planner minimizes.
 //
 // Rounding/pruning (Section 5.2) are nonlinear and only ever reduce
 // error, so configurations are ranked by their linear closed forms even
 // when the published release will round: the ranking is used as a
-// monotone proxy. H-bar and wavelet costs require factorizing an
-// O(width^2) strategy Gram matrix; candidates whose shard width exceeds
-// `max_analyzer_width` are reported infeasible rather than stalling the
-// planner (shard more, or raise the cap).
+// monotone proxy.
+//
+// H-bar and wavelet variances go through the Gram recurrence closed
+// forms by default — exact and O(branching * log width) at every width,
+// so no candidate is ever infeasible. Setting use_dense_oracle routes
+// them through the dense O(width^3) Cholesky instead (the independent
+// test oracle); only then does max_analyzer_width apply, reporting
+// candidates whose shard width exceeds it as infeasible rather than
+// stalling the planner.
 
 #ifndef DPHIST_PLANNER_COST_MODEL_H_
 #define DPHIST_PLANNER_COST_MODEL_H_
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
 
 #include "common/status.h"
+#include "planner/variance_oracle.h"
 #include "planner/workload_profile.h"
 #include "service/snapshot.h"
 
@@ -44,12 +57,19 @@ struct QueryCost {
 class CostModel {
  public:
   struct Options {
-    /// H-bar/wavelet closed forms need an O(width^3) Cholesky of the
-    /// per-shard strategy Gram matrix; wider shards are infeasible.
+    /// Dense-path safety cap: with use_dense_oracle, H-bar/wavelet
+    /// candidates whose per-shard strategy matrix would exceed this
+    /// width are reported infeasible (the Cholesky is O(width^3)). The
+    /// default recurrence path is exact at every width and ignores it.
     std::int64_t max_analyzer_width = 1024;
     /// Placements sampled per query length (deterministic, evenly
-    /// spaced); variance is averaged over them.
+    /// spaced); variance is averaged over them (heat-weighted when the
+    /// profile knows where traffic lands).
     std::int64_t placements_per_length = 8;
+    /// Route H-bar/wavelet through the dense Gram Cholesky instead of
+    /// the recurrence closed forms. The test-oracle escape hatch
+    /// (--dense-oracle in the CLI); see VarianceOracleOptions.
+    bool use_dense_oracle = false;
   };
 
   explicit CostModel(std::int64_t domain_size)
@@ -58,7 +78,8 @@ class CostModel {
 
   /// Expected per-query variance of `config` under `profile`. Fails on
   /// kAuto (nothing to evaluate), an empty profile, a profile for a
-  /// different domain, or an infeasible analyzer width.
+  /// different domain, or (dense path only) an infeasible analyzer
+  /// width.
   Result<QueryCost> Evaluate(const SnapshotOptions& config,
                              const WorkloadProfile& profile) const;
 
@@ -68,6 +89,72 @@ class CostModel {
  private:
   std::int64_t domain_size_;
   Options options_;
+};
+
+/// Incremental, cached cost evaluation for repeated replan decisions.
+///
+/// The expensive part of CostModel::Evaluate is the per-(length,
+/// placement) oracle call; crucially, that variance depends only on the
+/// candidate configuration and the placement geometry — never on the
+/// profile's weights or heat. IncrementalCostModel memoizes those
+/// variance vectors per candidate (strategy, shards, branching, epsilon)
+/// and per length, so re-costing a drifted profile is a pure
+/// re-weighting fold over cached numbers: the oracle runs only for query
+/// lengths a candidate has never seen. The fold is shared with
+/// CostModel::Evaluate, so a cached re-cost equals a from-scratch
+/// evaluation bit for bit (pinned by cost_model_test).
+///
+/// Not thread-safe: the runtime's EpochManager serializes every replan
+/// and drift check through its busy token and owns one instance across
+/// the service's lifetime.
+class IncrementalCostModel {
+ public:
+  IncrementalCostModel(std::int64_t domain_size,
+                       const CostModel::Options& options);
+
+  /// Same contract and same result as model().Evaluate(config, profile),
+  /// served from the per-candidate memo where possible.
+  Result<QueryCost> Evaluate(const SnapshotOptions& config,
+                             const WorkloadProfile& profile);
+
+  struct Stats {
+    std::uint64_t evaluations = 0;    // Evaluate calls
+    std::uint64_t lengths_costed = 0; // lengths that ran the oracle
+    std::uint64_t lengths_reused = 0; // lengths served from the memo
+    /// Profile generation: bumps whenever an Evaluate call sees a
+    /// length-weight table different from the previous call's.
+    std::uint64_t generation = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  const CostModel& model() const { return model_; }
+
+ private:
+  struct CandidateKey {
+    StrategyKind strategy;
+    std::int64_t shards;
+    std::int64_t branching;
+    double epsilon;
+    bool operator<(const CandidateKey& other) const {
+      return std::tie(strategy, shards, branching, epsilon) <
+             std::tie(other.strategy, other.shards, other.branching,
+                      other.epsilon);
+    }
+  };
+  struct CandidateEntry {
+    /// The candidate's oracle, kept alive so its lazily built per-width
+    /// recurrence tables amortize across evaluations too.
+    std::unique_ptr<VarianceOracle> oracle;
+    /// Placement-grid variance vectors keyed by query length.
+    std::map<std::int64_t, std::vector<double>> lengths;
+  };
+
+  CostModel model_;
+  std::map<CandidateKey, CandidateEntry> candidates_;
+  /// Last profile's length-weight table, for the generation counter.
+  std::map<std::int64_t, double> last_weights_;
+  bool seen_profile_ = false;
+  Stats stats_;
 };
 
 }  // namespace dphist::planner

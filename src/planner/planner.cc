@@ -44,9 +44,22 @@ std::vector<std::int64_t> DefaultShardCounts(std::int64_t domain_size,
 
 Result<Plan> ChoosePlan(const WorkloadProfile& profile,
                         const SnapshotOptions& base,
-                        const PlannerOptions& planner_options) {
+                        const PlannerOptions& planner_options,
+                        IncrementalCostModel* cost_cache) {
   if (profile.empty()) {
     return Status::InvalidArgument("cannot plan for an empty workload");
+  }
+  if (cost_cache != nullptr) {
+    const CostModel& cached = cost_cache->model();
+    const CostModel::Options& a = cached.options();
+    const CostModel::Options& b = planner_options.cost;
+    if (cached.domain_size() != profile.domain_size() ||
+        a.max_analyzer_width != b.max_analyzer_width ||
+        a.placements_per_length != b.placements_per_length ||
+        a.use_dense_oracle != b.use_dense_oracle) {
+      return Status::InvalidArgument(
+          "cost cache was built for a different domain or cost options");
+    }
   }
   std::vector<StrategyKind> strategies = planner_options.strategies;
   if (strategies.empty()) {
@@ -78,7 +91,10 @@ Result<Plan> ChoosePlan(const WorkloadProfile& profile,
       candidate.options = base;
       candidate.options.strategy = kind;
       candidate.options.shards = shards;
-      Result<QueryCost> cost = model.Evaluate(candidate.options, profile);
+      Result<QueryCost> cost =
+          cost_cache != nullptr
+              ? cost_cache->Evaluate(candidate.options, profile)
+              : model.Evaluate(candidate.options, profile);
       if (cost.ok()) {
         candidate.feasible = true;
         candidate.mean_variance = cost.value().mean_variance;
@@ -119,9 +135,9 @@ Result<Plan> ChoosePlan(const WorkloadProfile& profile,
 
 Result<SnapshotOptions> ResolveAutoStrategy(
     const SnapshotOptions& base, const WorkloadProfile& profile,
-    const PlannerOptions& planner_options) {
+    const PlannerOptions& planner_options, IncrementalCostModel* cost_cache) {
   if (base.strategy != StrategyKind::kAuto) return base;
-  Result<Plan> plan = ChoosePlan(profile, base, planner_options);
+  Result<Plan> plan = ChoosePlan(profile, base, planner_options, cost_cache);
   if (!plan.ok()) return plan.status();
   return plan.value().options;
 }

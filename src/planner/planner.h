@@ -68,16 +68,25 @@ struct Plan {
 /// protocol knobs are kept; strategy and shards are replaced by each
 /// candidate's) and returns the cost-minimizing plan for `profile`.
 /// Fails when no candidate is feasible or the profile is empty.
+///
+/// When `cost_cache` is non-null, candidates are costed through it
+/// instead of a fresh CostModel, so repeated plans over a drifting
+/// profile reuse every previously computed (candidate, length) variance
+/// vector — the runtime's replan loop passes its long-lived cache here.
+/// The cache must have been built for the same domain and the same
+/// CostModel::Options as `planner_options.cost` (checked).
 Result<Plan> ChoosePlan(const WorkloadProfile& profile,
                         const SnapshotOptions& base,
-                        const PlannerOptions& planner_options = {});
+                        const PlannerOptions& planner_options = {},
+                        IncrementalCostModel* cost_cache = nullptr);
 
 /// Resolves StrategyKind::kAuto: when `base.strategy == kAuto`, plans
 /// against `profile` and returns `base` with the chosen strategy and
 /// shard count substituted; otherwise returns `base` unchanged.
 Result<SnapshotOptions> ResolveAutoStrategy(
     const SnapshotOptions& base, const WorkloadProfile& profile,
-    const PlannerOptions& planner_options = {});
+    const PlannerOptions& planner_options = {},
+    IncrementalCostModel* cost_cache = nullptr);
 
 /// Renders the plan as an aligned human-readable table (the `dphist
 /// plan` output): one row per candidate plus the chosen configuration.

@@ -17,21 +17,55 @@ std::int64_t NextPowerOfTwo(std::int64_t n) {
   return p;
 }
 
+Status ValidateOracleConfig(const SnapshotOptions& options,
+                            std::int64_t domain_size) {
+  if (domain_size < 1) {
+    return Status::InvalidArgument("domain must be non-empty");
+  }
+  if (options.strategy == StrategyKind::kAuto) {
+    return Status::InvalidArgument(
+        "kAuto must be resolved by the planner before the closed form "
+        "can be evaluated");
+  }
+  if (options.round_to_nonnegative_integers ||
+      options.prune_nonpositive_subtrees) {
+    return Status::InvalidArgument(
+        "closed forms hold only for the linear protocol (rounding and "
+        "pruning off)");
+  }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (options.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  if (options.branching < 2 &&
+      (options.strategy == StrategyKind::kHTilde ||
+       options.strategy == StrategyKind::kHBar)) {
+    return Status::InvalidArgument("branching must be >= 2");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
+
+Result<VarianceOracle> VarianceOracle::Create(
+    const SnapshotOptions& options, std::int64_t domain_size,
+    const VarianceOracleOptions& oracle_options) {
+  Status valid = ValidateOracleConfig(options, domain_size);
+  if (!valid.ok()) return valid;
+  const std::int64_t requested = std::min(options.shards, domain_size);
+  const std::int64_t shard_width =
+      (domain_size + requested - 1) / requested;
+  return VarianceOracle(options, oracle_options, domain_size, shard_width);
+}
 
 VarianceOracle::VarianceOracle(const SnapshotOptions& options,
                                std::int64_t domain_size)
     : options_(options), domain_size_(domain_size) {
-  DPHIST_CHECK_MSG(domain_size_ >= 1, "domain must be non-empty");
-  DPHIST_CHECK_MSG(options_.strategy != StrategyKind::kAuto,
-                   "kAuto must be resolved by the planner before the "
-                   "closed form can be evaluated");
-  DPHIST_CHECK_MSG(!options_.round_to_nonnegative_integers &&
-                       !options_.prune_nonpositive_subtrees,
-                   "closed forms hold only for the linear protocol "
-                   "(rounding and pruning off)");
+  Status valid = ValidateOracleConfig(options, domain_size);
+  DPHIST_CHECK_MSG(valid.ok(), valid.message().c_str());
   const std::int64_t requested = std::min(options_.shards, domain_size_);
-  DPHIST_CHECK_MSG(requested >= 1, "shards must be >= 1");
   shard_width_ = (domain_size_ + requested - 1) / requested;
 }
 
@@ -73,8 +107,11 @@ double VarianceOracle::ShardVariance(std::int64_t width,
     case StrategyKind::kHBar:
     case StrategyKind::kWavelet:
       // Theorem 3 inference and Haar reconstruction are both exactly the
-      // OLS estimate under their strategy matrix.
-      return AnalyzerFor(width).RangeVariance(local);
+      // OLS estimate under their strategy matrix; the recurrence and the
+      // dense factorization compute the same quantity.
+      return oracle_options_.use_dense_analyzer
+                 ? DenseAnalyzerFor(width).RangeVariance(local)
+                 : RecurrenceFor(width).RangeVariance(local);
     case StrategyKind::kAuto:
       break;  // rejected at construction
   }
@@ -82,7 +119,7 @@ double VarianceOracle::ShardVariance(std::int64_t width,
   return 0.0;
 }
 
-const StrategyAnalyzer& VarianceOracle::AnalyzerFor(
+const StrategyAnalyzer& VarianceOracle::DenseAnalyzerFor(
     std::int64_t width) const {
   auto it = analyzers_.find(width);
   if (it == analyzers_.end()) {
@@ -96,6 +133,23 @@ const StrategyAnalyzer& VarianceOracle::AnalyzerFor(
     it = analyzers_
              .emplace(width, std::make_unique<StrategyAnalyzer>(
                                  std::move(analyzer).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+const RecurrenceOracle& VarianceOracle::RecurrenceFor(
+    std::int64_t width) const {
+  auto it = recurrences_.find(width);
+  if (it == recurrences_.end()) {
+    Result<RecurrenceOracle> oracle = RecurrenceOracle::Create(
+        options_.strategy, width, options_.branching, options_.epsilon);
+    // Construction validated everything Create checks, so a failure here
+    // is a programming error, not an input error.
+    DPHIST_CHECK_MSG(oracle.ok(), "recurrence oracle construction failed");
+    it = recurrences_
+             .emplace(width, std::make_unique<RecurrenceOracle>(
+                                 std::move(oracle).value()))
              .first;
   }
   return *it->second;

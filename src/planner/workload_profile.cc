@@ -9,14 +9,36 @@
 namespace dphist::planner {
 
 WorkloadProfile::WorkloadProfile(std::int64_t domain_size)
-    : domain_size_(domain_size) {
+    : domain_size_(domain_size),
+      heat_bin_width_((domain_size + static_cast<std::int64_t>(kHeatBins) -
+                       1) /
+                      static_cast<std::int64_t>(kHeatBins)) {
   DPHIST_CHECK_MSG(domain_size_ >= 1, "domain must be non-empty");
 }
 
 void WorkloadProfile::AddQuery(const Interval& query) {
+  AddQueryWeighted(query, 1.0);
+}
+
+void WorkloadProfile::AddQueryWeighted(const Interval& query,
+                                       double weight) {
   DPHIST_CHECK_MSG(query.lo() >= 0 && query.hi() < domain_size_,
                    "query outside the profile's domain");
-  AddLength(query.Length());
+  AddLength(query.Length(), weight);
+  const std::int64_t midpoint = query.lo() + (query.hi() - query.lo()) / 2;
+  heat_[HeatBin(midpoint)] += weight;
+  heat_weight_ += weight;
+}
+
+std::size_t WorkloadProfile::HeatBin(std::int64_t position) const {
+  return static_cast<std::size_t>(position / heat_bin_width_);
+}
+
+double WorkloadProfile::PositionHeat(std::int64_t position) const {
+  DPHIST_CHECK_MSG(position >= 0 && position < domain_size_,
+                   "position outside the profile's domain");
+  if (heat_weight_ <= 0.0) return 0.0;
+  return heat_[HeatBin(position)] / heat_weight_;
 }
 
 void WorkloadProfile::AddLength(std::int64_t length, double weight) {
@@ -83,9 +105,14 @@ void QueryReservoir::AddTo(WorkloadProfile* profile) const {
   if (sample_.empty()) return;
   const double weight = static_cast<double>(seen_) /
                         static_cast<double>(sample_.size());
+  const std::int64_t max_position = profile->domain_size() - 1;
   for (const Interval& query : sample_) {
-    profile->AddLength(std::min(query.Length(), profile->domain_size()),
-                       weight);
+    // Clamp to the profile's domain (a reservoir can outlive a domain
+    // change in tests); in-domain queries pass through untouched, so the
+    // profile keeps their exact lengths AND placements.
+    const Interval clipped(std::min(query.lo(), max_position),
+                           std::min(query.hi(), max_position));
+    profile->AddQueryWeighted(clipped, weight);
   }
 }
 

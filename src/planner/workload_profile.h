@@ -17,6 +17,7 @@
 #ifndef DPHIST_PLANNER_WORKLOAD_PROFILE_H_
 #define DPHIST_PLANNER_WORKLOAD_PROFILE_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -27,15 +28,30 @@
 
 namespace dphist::planner {
 
-/// Weighted histogram of query lengths over a fixed domain.
+/// Weighted histogram of query lengths over a fixed domain, plus a
+/// coarse per-position "heat" histogram of where placed queries landed.
 class WorkloadProfile {
  public:
+  /// Bins of the position-heat histogram: each placed query credits the
+  /// bin holding its midpoint. Coarse on purpose — the cost model only
+  /// needs to know which placement-grid points traffic actually visits,
+  /// not exact positions (which would also be a sharper disclosure of
+  /// the query stream than a replan decision needs).
+  static constexpr std::size_t kHeatBins = 64;
+
   explicit WorkloadProfile(std::int64_t domain_size);
 
-  /// Records one observed query (weight 1).
+  /// Records one observed query (weight 1), including its midpoint in
+  /// the position heat.
   void AddQuery(const Interval& query);
 
-  /// Records `weight` queries of the given length. Checked:
+  /// Records `weight` queries shaped like `query` (same length, same
+  /// midpoint heat). The reservoir export path, where one retained
+  /// sample stands for seen/|sample| observed queries.
+  void AddQueryWeighted(const Interval& query, double weight);
+
+  /// Records `weight` queries of the given length with *unknown*
+  /// placement (contributes no heat). Checked:
   /// 1 <= length <= domain_size, weight > 0.
   void AddLength(std::int64_t length, double weight = 1.0);
 
@@ -56,10 +72,34 @@ class WorkloadProfile {
     return lengths_;
   }
 
+  /// True when at least one query carried placement information (via
+  /// AddQuery/AddQueryWeighted). False for pure-length profiles
+  /// (AddLength, GeometricSweep, the service's bucketed counters),
+  /// where the cost model falls back to uniform placement weighting.
+  bool has_position_heat() const { return heat_weight_ > 0.0; }
+
+  /// Fraction of the placed-query weight whose midpoint landed in the
+  /// heat bin containing `position` (in [0, 1]; 0 when no query carried
+  /// placement information). Requires 0 <= position < domain_size.
+  double PositionHeat(std::int64_t position) const;
+
+  /// The raw per-bin placed-query weights (kHeatBins entries; trailing
+  /// bins are unused when domain_size < kHeatBins).
+  const std::array<double, kHeatBins>& position_heat() const {
+    return heat_;
+  }
+
  private:
+  std::size_t HeatBin(std::int64_t position) const;
+
   std::int64_t domain_size_;
+  /// Domain positions per heat bin, ceil(domain_size / kHeatBins).
+  std::int64_t heat_bin_width_;
   double total_weight_ = 0.0;
+  /// Total weight added with a known placement (heat_ sums to this).
+  double heat_weight_ = 0.0;
   std::map<std::int64_t, double> lengths_;
+  std::array<double, kHeatBins> heat_{};
 };
 
 /// Parses a range workload file: one query per line, "lo hi" (comma or
@@ -101,10 +141,13 @@ class QueryReservoir {
   bool empty() const { return sample_.empty(); }
   const std::vector<Interval>& sample() const { return sample_; }
 
-  /// Folds the sample into `profile` at the queries' exact lengths
-  /// (clamped to the profile's domain), weighting each retained query by
-  /// seen/|sample| so the contributed total weight equals the observed
-  /// count — an unbiased length histogram of the underlying stream.
+  /// Folds the sample into `profile` at the queries' exact lengths and
+  /// placements (clamped to the profile's domain), weighting each
+  /// retained query by seen/|sample| so the contributed total weight
+  /// equals the observed count — an unbiased length histogram of the
+  /// underlying stream. Because the reservoir keeps raw (lo, hi) pairs,
+  /// this also populates the profile's position heat, which the cost
+  /// model uses to weight placements by where traffic actually lands.
   void AddTo(WorkloadProfile* profile) const;
 
  private:

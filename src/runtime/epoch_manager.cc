@@ -30,6 +30,7 @@ EpochManager::EpochManager(QueryService* service, Histogram data,
     : service_(service),
       data_(std::move(data)),
       options_(options),
+      cost_cache_(data_.size(), options_.planner.cost),
       accountant_(options.epsilon_budget > 0.0
                       ? options.epsilon_budget
                       : std::numeric_limits<double>::infinity()),
@@ -106,8 +107,8 @@ Result<ReplanOutcome> EpochManager::PublishInitial(
     if (planning.empty()) {
       planning = planner::WorkloadProfile::GeometricSweep(data_.size());
     }
-    Result<planner::Plan> plan =
-        planner::ChoosePlan(planning, options_.base, options_.planner);
+    Result<planner::Plan> plan = planner::ChoosePlan(
+        planning, options_.base, options_.planner, &cost_cache_);
     if (!plan.ok()) {
       ReleaseBusy();
       return plan.status();
@@ -136,6 +137,7 @@ Result<ReplanOutcome> EpochManager::PublishInitial(
     DPHIST_CHECK_MSG(spent.ok(), "accountant refused a gated spend");
     stats_.republishes += 1;
     stats_.epsilon_spent = accountant_.spent();
+    SnapshotCostCacheStatsLocked();
     count_at_last_publish_ = service_->observed_query_count();
     count_at_last_drift_check_ = count_at_last_publish_;
   }
@@ -152,8 +154,8 @@ ReplanOutcome EpochManager::ExecuteReplan(ReplanTrigger trigger) {
   if (profile.empty()) {
     profile = planner::WorkloadProfile::GeometricSweep(data_.size());
   }
-  Result<planner::Plan> plan =
-      planner::ChoosePlan(profile, options_.base, options_.planner);
+  Result<planner::Plan> plan = planner::ChoosePlan(
+      profile, options_.base, options_.planner, &cost_cache_);
   if (!plan.ok()) {
     outcome.status = plan.status();
     return outcome;
@@ -166,10 +168,16 @@ ReplanOutcome EpochManager::ExecuteReplan(ReplanTrigger trigger) {
     // predicted error exceeds the best candidate's by the configured
     // ratio. Keeping the release costs no privacy.
     std::shared_ptr<const Snapshot> current = service_->snapshot();
-    DPHIST_CHECK_MSG(current != nullptr, "drift check before first publish");
-    const planner::CostModel model(data_.size(), options_.planner.cost);
+    if (current == nullptr) {
+      // Traffic can trip the drift trigger before anything was ever
+      // published (queries observed pre-PublishInitial); there is no
+      // release to compare against, so refuse gracefully.
+      outcome.status = Status::FailedPrecondition(
+          "drift check before first publish");
+      return outcome;
+    }
     Result<planner::QueryCost> current_cost =
-        model.Evaluate(current->options(), profile);
+        cost_cache_.Evaluate(current->options(), profile);
     if (current_cost.ok() && outcome.plan.predicted_mean_variance > 0.0) {
       outcome.measured_drift = current_cost.value().mean_variance /
                                outcome.plan.predicted_mean_variance;
@@ -216,8 +224,18 @@ ReplanOutcome EpochManager::ExecuteReplan(ReplanTrigger trigger) {
   return outcome;
 }
 
+void EpochManager::SnapshotCostCacheStatsLocked() {
+  // Safe without further synchronization: the cache is only mutated by
+  // the busy-token holder, which is the thread calling this.
+  const planner::IncrementalCostModel::Stats& cache = cost_cache_.stats();
+  stats_.cost_evaluations = cache.evaluations;
+  stats_.cost_lengths_costed = cache.lengths_costed;
+  stats_.cost_lengths_reused = cache.lengths_reused;
+}
+
 void EpochManager::RecordLocked(const ReplanOutcome& outcome,
                                 SubscriberId skip) {
+  SnapshotCostCacheStatsLocked();
   if (outcome.republished) {
     stats_.republishes += 1;
     switch (outcome.trigger) {

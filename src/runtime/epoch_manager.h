@@ -178,6 +178,12 @@ class EpochManager {
     std::uint64_t drift_checks = 0;   // evaluations that kept the release
     std::uint64_t failures = 0;       // attempts that errored
     std::uint64_t budget_refusals = 0;
+    /// Incremental cost-cache counters (IncrementalCostModel::Stats):
+    /// candidate costings served by re-running the variance oracle vs.
+    /// re-weighting memoized per-length variance vectors.
+    std::uint64_t cost_evaluations = 0;
+    std::uint64_t cost_lengths_costed = 0;
+    std::uint64_t cost_lengths_reused = 0;
     /// Announcements evicted from a subscriber queue that outgrew
     /// kMaxQueuedPerSubscriber (a session that stopped polling).
     std::uint64_t announcements_dropped = 0;
@@ -206,6 +212,10 @@ class EpochManager {
   void RecordLocked(const ReplanOutcome& outcome,
                     SubscriberId skip = kNoSubscriber);
 
+  /// Copies cost_cache_.stats() into stats_. Requires mutex_ and must be
+  /// called by the busy-token holder (the only cache mutator).
+  void SnapshotCostCacheStatsLocked();
+
   /// Next publish seed from the deterministic stream. Requires mutex_.
   std::uint64_t NextSeedLocked();
 
@@ -214,6 +224,11 @@ class EpochManager {
   QueryService* service_;
   const Histogram data_;
   const EpochManagerOptions options_;
+  /// Long-lived incremental cost cache shared by every plan and drift
+  /// evaluation this manager runs. Mutated only while the busy token is
+  /// held (PublishInitial / ExecuteReplan), which serializes access; its
+  /// counters are snapshotted into stats_ under mutex_.
+  planner::IncrementalCostModel cost_cache_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;  // wakes the worker

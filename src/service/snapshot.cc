@@ -118,12 +118,20 @@ Result<std::shared_ptr<const Snapshot>> Snapshot::Build(
                     BuildShard(SliceHistogram(data, lo, hi), options,
                                &shard_rngs[static_cast<std::size_t>(i)]);
               });
-  bool unit_range_is_o1 = true;
-  for (const std::unique_ptr<RangeCountEstimator>& shard : shards) {
-    unit_range_is_o1 = unit_range_is_o1 && shard->UnitRangeIsO1();
-  }
-  return std::shared_ptr<const Snapshot>(new Snapshot(
-      options, epoch, n, width, std::move(shards), unit_range_is_o1));
+  return std::shared_ptr<const Snapshot>(
+      new Snapshot(options, epoch, n, width, std::move(shards)));
+}
+
+bool Snapshot::AdmitToCache(const Interval& range) const {
+  const std::int64_t first = range.lo() / shard_width_;
+  const std::int64_t last = range.hi() / shard_width_;
+  // Spanning ranges recompute as one answer per shard touched plus the
+  // summation — always at least two lookups, always worth caching.
+  if (first != last) return true;
+  const std::int64_t base = first * shard_width_;
+  return shards_[static_cast<std::size_t>(first)]->RangeCostHint(
+             Interval(range.lo() - base, range.hi() - base)) >=
+         options_.cache_admit_min_cost;
 }
 
 const RangeCountEstimator& Snapshot::shard(std::int64_t index) const {

@@ -69,6 +69,12 @@ struct SnapshotOptions {
   /// streams are forked in shard order before any worker runs, so the
   /// snapshot is a pure function of (data, options, rng) at any count.
   std::int64_t build_threads = 1;
+  /// Cache admission threshold, in units of one O(1) lookup: an answer
+  /// whose estimated recompute cost (RangeCountEstimator::RangeCostHint)
+  /// is below this is never memoized — recomputing it is as cheap as a
+  /// cache hit, so the entry would only squat on LRU capacity. 2.0 means
+  /// "strictly more than a single prefix difference / leaf read".
+  double cache_admit_min_cost = 2.0;
 };
 
 /// One immutable epsilon-DP release, safe for lock-free concurrent reads.
@@ -108,14 +114,17 @@ class Snapshot {
   const RangeCountEstimator& shard(std::int64_t index) const;
 
   /// Cache admission policy: false when `range` is so cheap to recompute
-  /// from this release that memoizing it wastes LRU capacity. Today that
-  /// means unit ranges on snapshots whose every shard answers them in
-  /// O(1) — L~ (a leaf read) and consistent H-bar (a prefix difference).
-  /// QueryService::QueryBatch consults this before inserting misses and
-  /// counts the skips as admission_rejects.
-  bool AdmitToCache(const Interval& range) const {
-    return range.Length() > 1 || !unit_range_is_o1_;
-  }
+  /// from this release that memoizing it wastes LRU capacity. A range
+  /// spanning several shards is always admitted (its recomputation sums
+  /// one answer per shard touched); a single-shard range is admitted
+  /// only when that shard's own cost estimate
+  /// (RangeCountEstimator::RangeCostHint) reaches
+  /// options.cache_admit_min_cost — so on prefix-served releases (L~,
+  /// consistent H-bar, wavelet) nothing single-shard is cached, while
+  /// decomposition-walk releases (H~, inconsistent H-bar) cache
+  /// everything. QueryService::QueryBatch consults this before inserting
+  /// misses and counts the skips as admission_rejects.
+  bool AdmitToCache(const Interval& range) const;
 
   /// Estimated count for `range` (must lie within [0, domain_size)).
   /// Sums clipped per-shard answers; no heap allocation.
@@ -130,22 +139,18 @@ class Snapshot {
  private:
   Snapshot(SnapshotOptions options, std::uint64_t epoch,
            std::int64_t domain_size, std::int64_t shard_width,
-           std::vector<std::unique_ptr<RangeCountEstimator>> shards,
-           bool unit_range_is_o1)
+           std::vector<std::unique_ptr<RangeCountEstimator>> shards)
       : options_(options),
         epoch_(epoch),
         domain_size_(domain_size),
         shard_width_(shard_width),
-        shards_(std::move(shards)),
-        unit_range_is_o1_(unit_range_is_o1) {}
+        shards_(std::move(shards)) {}
 
   SnapshotOptions options_;
   std::uint64_t epoch_;
   std::int64_t domain_size_;
   std::int64_t shard_width_;
   std::vector<std::unique_ptr<RangeCountEstimator>> shards_;
-  /// Every shard answers a unit range in O(1) (drives AdmitToCache).
-  bool unit_range_is_o1_;
 };
 
 }  // namespace dphist

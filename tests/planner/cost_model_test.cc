@@ -94,8 +94,11 @@ TEST(CostModelTest, RoundingKnobsAreLinearizedNotRejected) {
 }
 
 TEST(CostModelTest, AnalyzerWidthCapMakesWideOlsCandidatesInfeasible) {
+  // The cap is a dense-path safety valve: it only bites when the caller
+  // opted into the O(width^3) Cholesky oracle.
   CostModel::Options options;
   options.max_analyzer_width = 16;
+  options.use_dense_oracle = true;
   CostModel model(64, options);
   WorkloadProfile profile(64);
   profile.AddLength(4);
@@ -120,6 +123,177 @@ TEST(CostModelTest, AnalyzerWidthCapMakesWideOlsCandidatesInfeasible) {
   // H~ has no Gram factorization, so the cap never applies.
   auto htilde = model.Evaluate(LinearOptions(StrategyKind::kHTilde), profile);
   EXPECT_TRUE(htilde.ok());
+}
+
+TEST(CostModelTest, RecurrencePathIgnoresTheAnalyzerWidthCap) {
+  // Default (recurrence) mode: the same wide candidates that the dense
+  // path rejects are costed exactly, at any width.
+  CostModel::Options options;
+  options.max_analyzer_width = 16;
+  CostModel model(64, options);
+  WorkloadProfile profile(64);
+  profile.AddLength(4);
+  EXPECT_TRUE(model.Evaluate(LinearOptions(StrategyKind::kHBar), profile)
+                  .ok());
+  EXPECT_TRUE(
+      model.Evaluate(LinearOptions(StrategyKind::kWavelet, 1.0, 3), profile)
+          .ok());
+}
+
+TEST(CostModelTest, RecurrenceAndDenseOraclesAgreeOnCosts) {
+  // The two oracle routes must produce the same QueryCost for every
+  // strategy the closed forms cover, including sharded configurations
+  // with ragged tails.
+  const std::int64_t n = 96;
+  CostModel::Options dense_options;
+  dense_options.use_dense_oracle = true;
+  CostModel recurrence(n);
+  CostModel dense(n, dense_options);
+  WorkloadProfile profile(n);
+  profile.AddLength(1, 5.0);
+  profile.AddLength(7, 2.0);
+  profile.AddLength(40, 1.0);
+  for (StrategyKind kind : {StrategyKind::kHBar, StrategyKind::kWavelet}) {
+    for (std::int64_t shards : {1, 3, 8}) {
+      SnapshotOptions config = LinearOptions(kind, 0.7, shards);
+      auto a = recurrence.Evaluate(config, profile);
+      auto b = dense.Evaluate(config, profile);
+      ASSERT_TRUE(a.ok()) << StrategyKindName(kind) << " shards " << shards;
+      ASSERT_TRUE(b.ok()) << StrategyKindName(kind) << " shards " << shards;
+      EXPECT_NEAR(a.value().mean_variance, b.value().mean_variance,
+                  1e-9 * b.value().mean_variance)
+          << StrategyKindName(kind) << " shards " << shards;
+      EXPECT_NEAR(a.value().worst_variance, b.value().worst_variance,
+                  1e-9 * b.value().worst_variance)
+          << StrategyKindName(kind) << " shards " << shards;
+    }
+  }
+}
+
+TEST(CostModelTest, PositionHeatReweightsPlacements) {
+  // H~ variance depends on where a range falls (decomposition size), so
+  // concentrating heat where the decomposition is cheap must lower the
+  // mean below the uniform-placement fold — and the worst case must not
+  // move (it scans every placement regardless of weight).
+  const std::int64_t n = 256;
+  CostModel model(n);
+  SnapshotOptions config = LinearOptions(StrategyKind::kHTilde);
+
+  WorkloadProfile uniform(n);
+  uniform.AddLength(64, 8.0);
+  auto uniform_cost = model.Evaluate(config, uniform);
+  ASSERT_TRUE(uniform_cost.ok());
+
+  // Find the placement-grid query of length 64 with the lowest variance
+  // and pile the heat onto its midpoint: aligned ranges decompose into
+  // fewer nodes. The grid is the cost model's: lo = p * (n - 64) / 7.
+  VarianceOracle oracle(config, n);
+  double best_variance = 0.0;
+  Interval best(0, 63);
+  for (std::int64_t p = 0; p < 8; ++p) {
+    const std::int64_t lo = (p * (n - 64)) / 7;
+    const Interval q(lo, lo + 63);
+    const double v = oracle.RangeVariance(q);
+    if (p == 0 || v < best_variance) {
+      best_variance = v;
+      best = q;
+    }
+  }
+  WorkloadProfile hot(n);
+  for (int i = 0; i < 8; ++i) hot.AddQuery(best);
+  ASSERT_TRUE(hot.has_position_heat());
+  auto hot_cost = model.Evaluate(config, hot);
+  ASSERT_TRUE(hot_cost.ok());
+
+  EXPECT_LT(hot_cost.value().mean_variance,
+            uniform_cost.value().mean_variance);
+  EXPECT_DOUBLE_EQ(hot_cost.value().worst_variance,
+                   uniform_cost.value().worst_variance);
+}
+
+TEST(IncrementalCostModelTest, CachedRecostEqualsFromScratchBitForBit) {
+  // The contract that makes the cache safe to trust: an incremental
+  // re-evaluation over memoized placement variances must equal a fresh
+  // CostModel::Evaluate exactly — no tolerance.
+  const std::int64_t n = 128;
+  IncrementalCostModel cache(n, CostModel::Options());
+  CostModel fresh(n);
+
+  WorkloadProfile first(n);
+  first.AddQuery(Interval(0, 0));
+  first.AddQuery(Interval(10, 41));
+  first.AddLength(8, 3.0);
+
+  WorkloadProfile drifted(n);
+  drifted.AddQuery(Interval(0, 0));
+  drifted.AddQuery(Interval(10, 41));
+  drifted.AddQuery(Interval(90, 121));  // same length, new heat
+  drifted.AddLength(8, 9.0);            // weight moved
+  drifted.AddLength(64, 1.0);           // brand-new length
+
+  for (StrategyKind kind :
+       {StrategyKind::kLTilde, StrategyKind::kHTilde, StrategyKind::kHBar,
+        StrategyKind::kWavelet}) {
+    for (std::int64_t shards : {1, 4}) {
+      const SnapshotOptions config = LinearOptions(kind, 1.0, shards);
+      for (const WorkloadProfile* profile : {&first, &drifted}) {
+        auto cached = cache.Evaluate(config, *profile);
+        auto scratch = fresh.Evaluate(config, *profile);
+        ASSERT_TRUE(cached.ok());
+        ASSERT_TRUE(scratch.ok());
+        EXPECT_EQ(cached.value().mean_variance,
+                  scratch.value().mean_variance)
+            << StrategyKindName(kind) << " shards " << shards;
+        EXPECT_EQ(cached.value().worst_variance,
+                  scratch.value().worst_variance)
+            << StrategyKindName(kind) << " shards " << shards;
+      }
+    }
+  }
+  // Second pass over `drifted` for every candidate: all lengths reused.
+  const auto before = cache.stats();
+  for (StrategyKind kind :
+       {StrategyKind::kLTilde, StrategyKind::kHTilde, StrategyKind::kHBar,
+        StrategyKind::kWavelet}) {
+    for (std::int64_t shards : {1, 4}) {
+      auto cached = cache.Evaluate(LinearOptions(kind, 1.0, shards), drifted);
+      ASSERT_TRUE(cached.ok());
+    }
+  }
+  const auto after = cache.stats();
+  EXPECT_EQ(after.lengths_costed, before.lengths_costed);
+  EXPECT_GT(after.lengths_reused, before.lengths_reused);
+}
+
+TEST(IncrementalCostModelTest, ReusesCachedLengthsAndBumpsGeneration) {
+  const std::int64_t n = 64;
+  IncrementalCostModel cache(n, CostModel::Options());
+  const SnapshotOptions config = LinearOptions(StrategyKind::kHBar);
+
+  WorkloadProfile profile(n);
+  profile.AddLength(4);
+  profile.AddLength(16);
+  ASSERT_TRUE(cache.Evaluate(config, profile).ok());
+  EXPECT_EQ(cache.stats().lengths_costed, 2u);
+  EXPECT_EQ(cache.stats().lengths_reused, 0u);
+  EXPECT_EQ(cache.stats().generation, 1u);
+
+  // Same weights: same generation; every length served from the memo.
+  ASSERT_TRUE(cache.Evaluate(config, profile).ok());
+  EXPECT_EQ(cache.stats().lengths_costed, 2u);
+  EXPECT_EQ(cache.stats().lengths_reused, 2u);
+  EXPECT_EQ(cache.stats().generation, 1u);
+
+  // Weight moves on a known length: new generation, still no oracle
+  // work; only a never-seen length runs the oracle.
+  profile.AddLength(4, 2.0);
+  ASSERT_TRUE(cache.Evaluate(config, profile).ok());
+  EXPECT_EQ(cache.stats().generation, 2u);
+  EXPECT_EQ(cache.stats().lengths_costed, 2u);
+  profile.AddLength(32);
+  ASSERT_TRUE(cache.Evaluate(config, profile).ok());
+  EXPECT_EQ(cache.stats().generation, 3u);
+  EXPECT_EQ(cache.stats().lengths_costed, 3u);
 }
 
 TEST(CostModelTest, RejectsAutoEmptyProfilesAndBadConfigs) {

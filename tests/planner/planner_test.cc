@@ -126,9 +126,63 @@ TEST(PlannerTest, InfeasibleEverywhereIsAnError) {
   options.strategies = {StrategyKind::kHBar};
   options.shard_counts = {1};  // width 256 > cap below
   options.cost.max_analyzer_width = 64;
+  options.cost.use_dense_oracle = true;  // the cap is dense-path only
   auto plan = ChoosePlan(profile, LinearBase(), options);
   ASSERT_FALSE(plan.ok());
   EXPECT_NE(plan.status().message().find("no feasible"), std::string::npos);
+
+  // The default recurrence path has no cap: the same enumeration plans.
+  options.cost.use_dense_oracle = false;
+  EXPECT_TRUE(ChoosePlan(profile, LinearBase(), options).ok());
+}
+
+TEST(PlannerTest, IncrementalCostCacheMatchesFreshEvaluation) {
+  // ChoosePlan through a shared IncrementalCostModel must rank and cost
+  // candidates identically to the cache-free path — including on a
+  // heat-carrying profile — while reusing oracle work across calls.
+  const std::int64_t n = 256;
+  WorkloadProfile profile(n);
+  for (std::int64_t lo : {0, 10, 110, 200}) {
+    profile.AddQuery(Interval(lo, lo + 31));
+  }
+  profile.AddLength(1, 6.0);
+  PlannerOptions options;
+  options.max_shards = 8;
+
+  IncrementalCostModel cache(n, options.cost);
+  auto fresh = ChoosePlan(profile, LinearBase(), options);
+  auto cached = ChoosePlan(profile, LinearBase(), options, &cache);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(cached.ok());
+  ASSERT_EQ(fresh.value().candidates.size(),
+            cached.value().candidates.size());
+  for (std::size_t i = 0; i < fresh.value().candidates.size(); ++i) {
+    const Candidate& a = fresh.value().candidates[i];
+    const Candidate& b = cached.value().candidates[i];
+    EXPECT_EQ(a.options.strategy, b.options.strategy) << i;
+    EXPECT_EQ(a.options.shards, b.options.shards) << i;
+    EXPECT_EQ(a.mean_variance, b.mean_variance) << i;
+    EXPECT_EQ(a.worst_variance, b.worst_variance) << i;
+  }
+
+  // A re-plan over a drifted profile re-runs the oracle only for the
+  // brand-new length; everything else is a re-weighting fold.
+  profile.AddQuery(Interval(40, 71));  // length already cached
+  profile.AddLength(128);              // new length
+  const auto before = cache.stats();
+  auto replanned = ChoosePlan(profile, LinearBase(), options, &cache);
+  ASSERT_TRUE(replanned.ok());
+  const auto after = cache.stats();
+  const std::uint64_t candidates =
+      static_cast<std::uint64_t>(replanned.value().candidates.size());
+  EXPECT_EQ(after.lengths_costed - before.lengths_costed, candidates);
+  EXPECT_GT(after.lengths_reused, before.lengths_reused);
+
+  // The cache refuses a mismatched configuration instead of serving
+  // stale geometry.
+  WorkloadProfile other(128);
+  other.AddLength(1);
+  EXPECT_FALSE(ChoosePlan(other, LinearBase(), options, &cache).ok());
 }
 
 TEST(PlannerTest, ResolveAutoStrategySubstitutesOnlyForAuto) {

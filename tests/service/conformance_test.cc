@@ -98,9 +98,10 @@ std::vector<ConformanceCase> Cases() {
 /// first batch inserted — putting cache hits themselves under the
 /// statistical test. (Within one batch, LookupMany resolves the whole
 /// chunk before any insert, so an intra-batch duplicate is recomputed
-/// rather than hit. The duplicate is a multi-position range on purpose:
-/// unit ranges are excluded from the cache by the admission policy on
-/// L~/consistent-H-bar snapshots, so a unit duplicate would never hit.)
+/// rather than hit. The duplicate is a shard-spanning range on purpose:
+/// the admission policy keeps cheap single-shard answers out of the
+/// cache on prefix-served snapshots like the consistent-H-bar case
+/// below, so a single-shard duplicate would never hit.)
 std::vector<Interval> ProbeQueries(std::int64_t n) {
   std::vector<Interval> queries = {
       Interval(0, 0),         Interval(n / 2, n / 2), Interval(0, n - 1),

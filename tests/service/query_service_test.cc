@@ -305,10 +305,10 @@ TEST(QueryServiceTest, ConcurrentSwapsServeSingleEpochBatches) {
   EXPECT_EQ(service.current_epoch(), kEpochs);
 }
 
-TEST(QueryServiceTest, AdmissionKeepsO1UnitAnswersOutOfTheCache) {
-  // L~ answers a unit range with one leaf read — recomputing is as
-  // cheap as a cache hit, so the admission policy must never let those
-  // answers consume LRU capacity.
+TEST(QueryServiceTest, AdmissionKeepsPrefixServedAnswersOutOfTheCache) {
+  // L~ answers EVERY range with one prefix difference — recomputing is
+  // as cheap as a cache hit, so on an unsharded L~ snapshot the
+  // admission policy must never let any answer consume LRU capacity.
   Histogram data = TestData(64);
   QueryServiceOptions service_options;
   service_options.cache_capacity = 256;
@@ -317,28 +317,21 @@ TEST(QueryServiceTest, AdmissionKeepsO1UnitAnswersOutOfTheCache) {
   options.strategy = StrategyKind::kLTilde;
   ASSERT_TRUE(service.Publish(data, options, 1).ok());
 
-  std::vector<Interval> units;
-  for (std::int64_t i = 0; i < 32; ++i) units.emplace_back(i, i);
-  std::vector<double> answers(units.size());
-  service.QueryBatch(units.data(), units.size(), answers.data());
+  std::vector<Interval> queries;
+  for (std::int64_t i = 0; i < 32; ++i) queries.emplace_back(i, i);
+  queries.emplace_back(0, 31);
+  queries.emplace_back(8, 60);
+  std::vector<double> answers(queries.size());
+  service.QueryBatch(queries.data(), queries.size(), answers.data());
   EXPECT_EQ(service.cache_size(), 0);
   EXPECT_EQ(service.cache_stats().insertions, 0u);
-  EXPECT_EQ(service.cache_stats().admission_rejects, 32u);
-
-  // Multi-position ranges are expensive (O(length) for L~) and are
-  // still cached and hit.
-  std::vector<Interval> ranges = {Interval(0, 31), Interval(8, 60)};
-  std::vector<double> range_answers(ranges.size());
-  service.QueryBatch(ranges.data(), ranges.size(), range_answers.data());
-  EXPECT_EQ(service.cache_size(), 2);
-  const std::uint64_t hits_before = service.cache_stats().hits;
-  service.QueryBatch(ranges.data(), ranges.size(), range_answers.data());
-  EXPECT_EQ(service.cache_stats().hits, hits_before + 2);
+  EXPECT_EQ(service.cache_stats().admission_rejects, 34u);
 }
 
-TEST(QueryServiceTest, AdmissionAppliesOnlyToO1Snapshots) {
-  // H~ walks a subtree decomposition even for a unit range, so its unit
-  // answers are worth caching: same traffic, zero admission rejects.
+TEST(QueryServiceTest, AdmissionAdmitsDecompositionWalkSnapshots) {
+  // H~ walks a subtree decomposition even for a unit range
+  // (RangeCostHint = tree height), so all its answers are worth
+  // caching: same traffic, zero admission rejects.
   Histogram data = TestData(64);
   QueryServiceOptions service_options;
   service_options.cache_capacity = 256;
@@ -355,9 +348,35 @@ TEST(QueryServiceTest, AdmissionAppliesOnlyToO1Snapshots) {
   EXPECT_EQ(service.cache_stats().admission_rejects, 0u);
 }
 
+TEST(QueryServiceTest, AdmissionAdmitsOnlySpanningRangesOnShardedCheapSnapshots) {
+  // On a sharded L~ snapshot, a shard-spanning range recomputes as one
+  // answer per shard touched — worth caching — while a single-shard
+  // range is still one prefix difference and is rejected.
+  Histogram data = TestData(256);
+  QueryServiceOptions service_options;
+  service_options.cache_capacity = 256;
+  QueryService service(service_options);
+  SnapshotOptions options;
+  options.strategy = StrategyKind::kLTilde;
+  options.shards = 4;  // shard width 64
+  ASSERT_TRUE(service.Publish(data, options, 1).ok());
+
+  std::vector<Interval> spanning = {Interval(0, 99), Interval(50, 249),
+                                    Interval(60, 70)};
+  std::vector<Interval> interior = {Interval(0, 63), Interval(70, 120),
+                                    Interval(5, 5)};
+  std::vector<double> answers(3);
+  service.QueryBatch(spanning.data(), spanning.size(), answers.data());
+  EXPECT_EQ(service.cache_size(), 3);
+  EXPECT_EQ(service.cache_stats().admission_rejects, 0u);
+  service.QueryBatch(interior.data(), interior.size(), answers.data());
+  EXPECT_EQ(service.cache_size(), 3);
+  EXPECT_EQ(service.cache_stats().admission_rejects, 3u);
+}
+
 TEST(QueryServiceTest, AdmissionPreservesCapacityForExpensiveRanges) {
-  // The point of the policy: a flood of unit queries on an O(1)-unit
-  // snapshot must not evict the expensive range answers already cached.
+  // The point of the policy: a flood of cheap single-shard queries must
+  // not evict the expensive shard-spanning answers already cached.
   Histogram data = TestData(256);
   QueryServiceOptions service_options;
   service_options.cache_capacity = 4;
@@ -365,10 +384,11 @@ TEST(QueryServiceTest, AdmissionPreservesCapacityForExpensiveRanges) {
   QueryService service(service_options);
   SnapshotOptions options;
   options.strategy = StrategyKind::kLTilde;
+  options.shards = 4;  // shard width 64: all four ranges below span
   ASSERT_TRUE(service.Publish(data, options, 1).ok());
 
   std::vector<Interval> ranges = {Interval(0, 99), Interval(50, 249),
-                                  Interval(10, 200), Interval(3, 77)};
+                                  Interval(10, 200), Interval(30, 77)};
   std::vector<double> answers(ranges.size());
   service.QueryBatch(ranges.data(), ranges.size(), answers.data());
   EXPECT_EQ(service.cache_size(), 4);

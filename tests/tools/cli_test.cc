@@ -335,14 +335,26 @@ TEST(CliTest, PlanReportsInfeasibleCandidatesAndObjective) {
   std::string out, err;
   // Cap the analyzer width so unsharded H-bar is infeasible but sharded
   // H-bar is not; the table must carry the reason, not silently drop it.
+  // The cap only binds on the dense (test-oracle) path, so opt into it.
+  ASSERT_EQ(RunMain({"plan", "--queries", queries_path.c_str(), "--domain",
+                     "64", "--epsilon", "1", "--strategies", "hbar",
+                     "--max-shards", "4", "--dense-oracle",
+                     "--max-analyzer-width", "16"},
+                    &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("infeasible"), std::string::npos);
+  EXPECT_NE(out.find("plan: strategy=hbar shards=4"), std::string::npos);
+
+  // On the default recurrence path the same cap is ignored: every
+  // candidate is feasible and unsharded H-bar ranks normally.
   ASSERT_EQ(RunMain({"plan", "--queries", queries_path.c_str(), "--domain",
                      "64", "--epsilon", "1", "--strategies", "hbar",
                      "--max-shards", "4", "--max-analyzer-width", "16"},
                     &out, &err),
             0)
       << err;
-  EXPECT_NE(out.find("infeasible"), std::string::npos);
-  EXPECT_NE(out.find("plan: strategy=hbar shards=4"), std::string::npos);
+  EXPECT_EQ(out.find("infeasible"), std::string::npos) << out;
 
   // The worst-case objective is accepted; nonsense objectives are not.
   EXPECT_EQ(RunMain({"plan", "--queries", queries_path.c_str(), "--domain",

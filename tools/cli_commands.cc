@@ -45,7 +45,8 @@ constexpr char kUsage[] =
     "                    [--threads T] [--build-threads B] [--seed S]\n"
     "                    [--no-round] [--no-prune] [--max-shards M]\n"
     "                    [--strategies a,b,c] [--objective mean|worst]\n"
-    "                    [--max-analyzer-width W]   (auto planning)\n"
+    "                    [--dense-oracle [--max-analyzer-width W]]\n"
+    "                                               (auto planning)\n"
     "                    [--replan-every N] [--replan-drift X]\n"
     "                    [--drift-check-every N] [--replan-sync]\n"
     "                    [--reservoir N] [--epsilon-budget B]\n"
@@ -58,7 +59,7 @@ constexpr char kUsage[] =
     "  plan              --queries P --epsilon E (--input P | --domain N)\n"
     "                    [--branching K] [--max-shards M]\n"
     "                    [--strategies a,b,c] [--objective mean|worst]\n"
-    "                    [--max-analyzer-width W]\n";
+    "                    [--dense-oracle [--max-analyzer-width W]]\n";
 
 Status RequireFlag(const Flags& flags, const std::string& name) {
   if (!flags.Has(name)) {
@@ -96,6 +97,10 @@ Status FillPlannerOptions(const Flags& flags,
   if (options->max_shards < 1) {
     return Status::InvalidArgument("max-shards must be >= 1");
   }
+  // The dense Cholesky oracle is the recurrence path's independent test
+  // oracle; --max-analyzer-width is its safety cap (the default
+  // recurrence closed forms are exact at every width and ignore it).
+  options->cost.use_dense_oracle = flags.Has("dense-oracle");
   options->cost.max_analyzer_width =
       flags.GetInt("max-analyzer-width", 1024);
   if (options->cost.max_analyzer_width < 1) {

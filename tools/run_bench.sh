@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Builds the benchmark suite in Release mode, runs
 # bench_micro_range_query, bench_service_throughput,
-# bench_snapshot_build, bench_streaming_serve, and bench_socket_serve,
-# and writes BENCH_range_query.json, BENCH_service.json,
-# BENCH_snapshot_build.json, BENCH_streaming.json, and BENCH_socket.json
-# at the repo root so the query-path, serving-layer, publish-latency,
-# online-replan, and network-transport performance trajectories are
-# tracked from PR to PR.
+# bench_snapshot_build, bench_streaming_serve, bench_socket_serve, and
+# bench_plan_sweep, and writes BENCH_range_query.json,
+# BENCH_service.json, BENCH_snapshot_build.json, BENCH_streaming.json,
+# BENCH_socket.json, and BENCH_plan.json at the repo root so the
+# query-path, serving-layer, publish-latency, online-replan,
+# network-transport, and planner performance trajectories are tracked
+# from PR to PR.
 #
 # Usage: tools/run_bench.sh [extra micro_range_query flags...]
 #   e.g. tools/run_bench.sh --max-log2=16 --min-time-ms=100
@@ -23,6 +24,7 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release \
 cmake --build "${BUILD_DIR}" \
   --target bench_micro_range_query bench_service_throughput \
   bench_snapshot_build bench_streaming_serve bench_socket_serve \
+  bench_plan_sweep \
   -j >/dev/null
 
 OUT="${REPO_ROOT}/BENCH_range_query.json"
@@ -40,13 +42,17 @@ STREAMING_OUT="${REPO_ROOT}/BENCH_streaming.json"
 SOCKET_OUT="${REPO_ROOT}/BENCH_socket.json"
 "${BUILD_DIR}/bench_socket_serve" > "${SOCKET_OUT}"
 
+PLAN_OUT="${REPO_ROOT}/BENCH_plan.json"
+"${BUILD_DIR}/bench_plan_sweep" > "${PLAN_OUT}"
+
 echo "wrote ${OUT}"
 echo "wrote ${SERVICE_OUT}"
 echo "wrote ${SNAPSHOT_OUT}"
 echo "wrote ${STREAMING_OUT}"
 echo "wrote ${SOCKET_OUT}"
+echo "wrote ${PLAN_OUT}"
 if command -v python3 >/dev/null 2>&1; then
-  python3 - "$OUT" "$SERVICE_OUT" "$SNAPSHOT_OUT" "$STREAMING_OUT" "$SOCKET_OUT" <<'EOF'
+  python3 - "$OUT" "$SERVICE_OUT" "$SNAPSHOT_OUT" "$STREAMING_OUT" "$SOCKET_OUT" "$PLAN_OUT" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     data = json.load(f)
@@ -81,5 +87,14 @@ print(f"Socket serve: {s['qps_at_min_connections']:.3g} q/s aggregate at "
       f"{s['qps_at_max_connections']:.3g} at {s['max_connections']} "
       f"({s['scaling_max_over_min']:.2f}x; "
       f"{socket_bench['hardware_concurrency']} core(s))")
+with open(sys.argv[6]) as f:
+    plan = json.load(f)
+s = plan["summary"]
+print(f"Plan sweep at n=2^{s['max_domain_log2']}: "
+      f"{s['plan_seconds_at_max_domain']*1e3:.3g} ms cold, "
+      f"{s['warm_replan_seconds_at_max_domain']*1e3:.3g} ms warm replan, "
+      f"{s['infeasible_rows']} infeasible row(s); dense oracle at "
+      f"n=2^{s['dense_domain_log2']} is {s['dense_over_recurrence']:.0f}x "
+      f"slower")
 EOF
 fi
