@@ -20,6 +20,18 @@ ContinualCounter::ContinualCounter(std::int64_t horizon, double epsilon,
   noise_scale_ = static_cast<double>(tree_.height()) / epsilon_;
 }
 
+Result<ContinualCounter> ContinualCounter::Create(std::int64_t horizon,
+                                                  double epsilon,
+                                                  const Rng& rng) {
+  if (horizon < 1) {
+    return Status::InvalidArgument("horizon must be positive");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  return ContinualCounter(horizon, epsilon, rng);
+}
+
 void ContinualCounter::Observe(double count) {
   DPHIST_CHECK_MSG(steps_ < horizon_, "stream exceeded the horizon");
   std::int64_t pos = steps_;

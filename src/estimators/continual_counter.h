@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "tree/tree_layout.h"
 
 namespace dphist {
@@ -32,6 +33,11 @@ class ContinualCounter {
   /// A counter for up to `horizon` time steps at privacy `epsilon`.
   /// The Rng is captured (copied) so the noise stream is self-contained.
   ContinualCounter(std::int64_t horizon, double epsilon, const Rng& rng);
+
+  /// Validating construction for serving paths: a non-positive horizon
+  /// or epsilon becomes a Status instead of aborting the process.
+  static Result<ContinualCounter> Create(std::int64_t horizon, double epsilon,
+                                         const Rng& rng);
 
   /// Ingests the count of the next time step. Checked: at most horizon
   /// observations.

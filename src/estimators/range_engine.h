@@ -48,6 +48,16 @@ class RangeCountEstimator {
 
   /// Short name for reports ("L~", "H~", "H-bar", ...).
   virtual std::string Name() const = 0;
+
+  /// The minimal vector of doubles from which a per-strategy Restore
+  /// factory can rebuild this estimator with bit-identical answers (the
+  /// noise was drawn once at construction; everything else is
+  /// deterministic post-processing). Returns nullptr when the estimator
+  /// does not support persistence — the storage layer then refuses to
+  /// snapshot it rather than persisting something it cannot revive.
+  virtual const std::vector<double>* SerializableState() const {
+    return nullptr;
+  }
 };
 
 /// Draws `count` ranges of exactly `size` positions with uniformly random

@@ -49,6 +49,22 @@ LTildeEstimator::LTildeEstimator(const Histogram& data,
   prefix_ = PrefixSums(leaves_);
 }
 
+LTildeEstimator::LTildeEstimator(const UniversalOptions& options,
+                                 std::vector<double> leaves)
+    : round_answers_(options.round_to_nonnegative_integers),
+      leaves_(std::move(leaves)) {
+  prefix_ = PrefixSums(leaves_);
+}
+
+Result<std::unique_ptr<LTildeEstimator>> LTildeEstimator::Restore(
+    const UniversalOptions& options, std::vector<double> leaves) {
+  if (leaves.empty()) {
+    return Status::InvalidArgument("L~ restore needs a non-empty domain");
+  }
+  return std::unique_ptr<LTildeEstimator>(
+      new LTildeEstimator(options, std::move(leaves)));
+}
+
 double LTildeEstimator::RangeCount(const Interval& range) const {
   return RoundAnswer(PrefixRangeSum(prefix_, range), round_answers_);
 }
@@ -80,6 +96,24 @@ HTildeEstimator::HTildeEstimator(std::int64_t domain_size,
   DPHIST_CHECK_MSG(
       nodes_.size() == static_cast<std::size_t>(tree_.node_count()),
       "noisy node vector does not match the tree");
+}
+
+Result<std::unique_ptr<HTildeEstimator>> HTildeEstimator::Restore(
+    std::int64_t domain_size, const UniversalOptions& options,
+    std::vector<double> noisy_nodes) {
+  if (domain_size < 1) {
+    return Status::InvalidArgument("H~ restore needs a non-empty domain");
+  }
+  if (options.branching < 2) {
+    return Status::InvalidArgument("branching must be >= 2");
+  }
+  const TreeLayout tree(domain_size, options.branching);
+  if (noisy_nodes.size() != static_cast<std::size_t>(tree.node_count())) {
+    return Status::InvalidArgument(
+        "persisted H~ node vector does not match the tree");
+  }
+  return std::make_unique<HTildeEstimator>(domain_size, options,
+                                           std::move(noisy_nodes));
 }
 
 double HTildeEstimator::RangeCountImpl(const Interval& range) const {
@@ -116,6 +150,34 @@ HBarEstimator::HBarEstimator(std::int64_t domain_size,
   FinishConstruction(options, noisy_nodes);
 }
 
+HBarEstimator::HBarEstimator(RestoreTag, std::int64_t domain_size,
+                             std::vector<double> final_nodes,
+                             std::int64_t branching)
+    : domain_size_(domain_size),
+      tree_(domain_size, branching),
+      nodes_(std::move(final_nodes)) {
+  ComputeLeafState();
+}
+
+Result<std::unique_ptr<HBarEstimator>> HBarEstimator::Restore(
+    std::int64_t domain_size, const UniversalOptions& options,
+    std::vector<double> final_nodes) {
+  if (domain_size < 1) {
+    return Status::InvalidArgument("H-bar restore needs a non-empty domain");
+  }
+  if (options.branching < 2) {
+    return Status::InvalidArgument("branching must be >= 2");
+  }
+  const TreeLayout tree(domain_size, options.branching);
+  if (final_nodes.size() != static_cast<std::size_t>(tree.node_count())) {
+    return Status::InvalidArgument(
+        "persisted H-bar node vector does not match the tree");
+  }
+  return std::unique_ptr<HBarEstimator>(
+      new HBarEstimator(RestoreTag{}, domain_size, std::move(final_nodes),
+                        options.branching));
+}
+
 void HBarEstimator::FinishConstruction(
     const UniversalOptions& options, const std::vector<double>& noisy_nodes) {
   DPHIST_CHECK_MSG(
@@ -130,6 +192,10 @@ void HBarEstimator::FinishConstruction(
   if (options.round_to_nonnegative_integers) {
     nodes_ = RoundToNonNegativeIntegers(nodes_);
   }
+  ComputeLeafState();
+}
+
+void HBarEstimator::ComputeLeafState() {
   leaves_ = LeafEstimates(tree_, nodes_, domain_size_);
 
   // Inference makes the tree exactly consistent; pruning and rounding can

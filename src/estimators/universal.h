@@ -19,10 +19,12 @@
 #define DPHIST_ESTIMATORS_UNIVERSAL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "domain/histogram.h"
 #include "estimators/range_engine.h"
 #include "tree/tree_layout.h"
@@ -55,6 +57,13 @@ class LTildeEstimator : public RangeCountEstimator {
   LTildeEstimator(const Histogram& data, const UniversalOptions& options,
                   Rng* rng);
 
+  /// Rebuilds the estimator from a persisted leaf vector (the
+  /// SerializableState of a previous construction): the prefix table is
+  /// recomputed by the same deterministic fold, so every answer is
+  /// bit-identical to the original's. Fails on an empty vector.
+  static Result<std::unique_ptr<LTildeEstimator>> Restore(
+      const UniversalOptions& options, std::vector<double> leaves);
+
   double RangeCount(const Interval& range) const override;
   void RangeCountsInto(const Interval* ranges, std::size_t count,
                        double* out) const override;
@@ -69,7 +78,15 @@ class LTildeEstimator : public RangeCountEstimator {
   /// Raw noisy per-position answers (rounding happens per range answer).
   const std::vector<double>& leaf_estimates() const { return leaves_; }
 
+  /// The leaves: everything Restore needs (see range_engine.h).
+  const std::vector<double>* SerializableState() const override {
+    return &leaves_;
+  }
+
  private:
+  LTildeEstimator(const UniversalOptions& options,
+                  std::vector<double> leaves);
+
   bool round_answers_;
   std::vector<double> leaves_;
   std::vector<double> prefix_;
@@ -86,6 +103,13 @@ class HTildeEstimator : public RangeCountEstimator {
   /// H~ and H-bar the *same* draw).
   HTildeEstimator(std::int64_t domain_size, const UniversalOptions& options,
                   std::vector<double> noisy_nodes);
+
+  /// Validating form of the noisy-node constructor for the storage
+  /// layer: a persisted node vector that does not match the tree of
+  /// (domain_size, branching) is a Status, not an abort.
+  static Result<std::unique_ptr<HTildeEstimator>> Restore(
+      std::int64_t domain_size, const UniversalOptions& options,
+      std::vector<double> noisy_nodes);
 
   double RangeCount(const Interval& range) const override;
   void RangeCountsInto(const Interval* ranges, std::size_t count,
@@ -104,6 +128,11 @@ class HTildeEstimator : public RangeCountEstimator {
 
   /// Raw noisy per-node answers (rounding happens per range answer).
   const std::vector<double>& node_answers() const { return nodes_; }
+
+  /// The raw noisy nodes: everything Restore needs.
+  const std::vector<double>* SerializableState() const override {
+    return &nodes_;
+  }
 
  private:
   /// Non-virtual core shared by the scalar and batched entry points so
@@ -142,6 +171,17 @@ class HBarEstimator : public RangeCountEstimator {
   HBarEstimator(std::int64_t domain_size, const UniversalOptions& options,
                 const std::vector<double>& noisy_nodes);
 
+  /// Rebuilds the estimator from persisted *final* node estimates (the
+  /// output of inference + pruning + rounding, i.e. node_estimates()):
+  /// the expensive inference is skipped, while the leaf extraction,
+  /// prefix table, and consistency detection re-run the same
+  /// deterministic code the original construction did — so answers and
+  /// the fast-path choice are bit-identical. Fails when the vector does
+  /// not match the tree of (domain_size, branching).
+  static Result<std::unique_ptr<HBarEstimator>> Restore(
+      std::int64_t domain_size, const UniversalOptions& options,
+      std::vector<double> final_nodes);
+
   double RangeCount(const Interval& range) const override;
   void RangeCountsInto(const Interval* ranges, std::size_t count,
                        double* out) const override;
@@ -173,9 +213,23 @@ class HBarEstimator : public RangeCountEstimator {
   /// Final per-position estimates: the leaf level of node_estimates().
   const std::vector<double>& leaf_estimates() const { return leaves_; }
 
+  /// The final node estimates: everything Restore needs.
+  const std::vector<double>* SerializableState() const override {
+    return &nodes_;
+  }
+
  private:
+  /// Restore path: adopts final nodes without re-running inference.
+  struct RestoreTag {};
+  HBarEstimator(RestoreTag, std::int64_t domain_size,
+                std::vector<double> final_nodes, std::int64_t branching);
+
   void FinishConstruction(const UniversalOptions& options,
                           const std::vector<double>& noisy_nodes);
+
+  /// The deterministic tail of construction shared with Restore:
+  /// computes leaves_, prefix_, and consistent_ from nodes_.
+  void ComputeLeafState();
 
   /// Non-virtual decomposition walk shared by the fallback paths and
   /// RangeCountViaDecomposition.

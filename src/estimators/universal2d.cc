@@ -1,6 +1,7 @@
 #include "estimators/universal2d.h"
 
 #include <cmath>
+#include <memory>
 
 #include "common/check.h"
 #include "common/laplace.h"
@@ -13,6 +14,20 @@ namespace {
 double RoundAnswer(double answer, bool enabled) {
   if (!enabled) return answer;
   return answer <= 0.0 ? 0.0 : std::round(answer);
+}
+
+Status ValidateGridBuild(const GridHistogram& data,
+                         const Universal2dOptions& options, const Rng* rng) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("2-D estimator needs an RNG");
+  }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (data.rows() < 1 || data.cols() < 1) {
+    return Status::InvalidArgument("2-D estimator needs a non-empty grid");
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -50,6 +65,13 @@ L2dEstimator::L2dEstimator(const GridHistogram& data,
   }
 }
 
+Result<std::unique_ptr<L2dEstimator>> L2dEstimator::Create(
+    const GridHistogram& data, const Universal2dOptions& options, Rng* rng) {
+  Status valid = ValidateGridBuild(data, options, rng);
+  if (!valid.ok()) return valid;
+  return std::make_unique<L2dEstimator>(data, options, rng);
+}
+
 double L2dEstimator::RectCount(const Rect& rect) const {
   return RoundAnswer(noisy_.Count(rect), round_answers_);
 }
@@ -67,6 +89,13 @@ Quad2dTildeEstimator::Quad2dTildeEstimator(const GridHistogram& data,
   LaplaceDistribution noise(static_cast<double>(quad_.height()) /
                             options.epsilon);
   for (double& v : nodes_) v += noise.Sample(rng);
+}
+
+Result<std::unique_ptr<Quad2dTildeEstimator>> Quad2dTildeEstimator::Create(
+    const GridHistogram& data, const Universal2dOptions& options, Rng* rng) {
+  Status valid = ValidateGridBuild(data, options, rng);
+  if (!valid.ok()) return valid;
+  return std::make_unique<Quad2dTildeEstimator>(data, options, rng);
 }
 
 double Quad2dTildeEstimator::RectCount(const Rect& rect) const {
@@ -116,6 +145,13 @@ void Quad2dBarEstimator::FinishConstruction(
   if (options.round_to_nonnegative_integers) {
     nodes_ = RoundToNonNegativeIntegers(nodes_);
   }
+}
+
+Result<std::unique_ptr<Quad2dBarEstimator>> Quad2dBarEstimator::Create(
+    const GridHistogram& data, const Universal2dOptions& options, Rng* rng) {
+  Status valid = ValidateGridBuild(data, options, rng);
+  if (!valid.ok()) return valid;
+  return std::make_unique<Quad2dBarEstimator>(data, options, rng);
 }
 
 double Quad2dBarEstimator::RectCount(const Rect& rect) const {

@@ -15,10 +15,12 @@
 #define DPHIST_ESTIMATORS_UNIVERSAL2D_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "domain/grid.h"
 #include "tree/quadtree.h"
 
@@ -54,6 +56,11 @@ class L2dEstimator : public RectCountEstimator {
   L2dEstimator(const GridHistogram& data, const Universal2dOptions& options,
                Rng* rng);
 
+  /// Validating construction for serving paths: invalid options or a
+  /// missing RNG become a Status instead of aborting the process.
+  static Result<std::unique_ptr<L2dEstimator>> Create(
+      const GridHistogram& data, const Universal2dOptions& options, Rng* rng);
+
   double RectCount(const Rect& rect) const override;
   std::string Name() const override { return "L2d~"; }
 
@@ -67,6 +74,10 @@ class Quad2dTildeEstimator : public RectCountEstimator {
  public:
   Quad2dTildeEstimator(const GridHistogram& data,
                        const Universal2dOptions& options, Rng* rng);
+
+  /// Validating construction (see L2dEstimator::Create).
+  static Result<std::unique_ptr<Quad2dTildeEstimator>> Create(
+      const GridHistogram& data, const Universal2dOptions& options, Rng* rng);
 
   double RectCount(const Rect& rect) const override;
   std::string Name() const override { return "Q2d~"; }
@@ -93,6 +104,10 @@ class Quad2dBarEstimator : public RectCountEstimator {
   Quad2dBarEstimator(std::int64_t rows, std::int64_t cols,
                      const Universal2dOptions& options,
                      const std::vector<double>& noisy_nodes);
+
+  /// Validating construction (see L2dEstimator::Create).
+  static Result<std::unique_ptr<Quad2dBarEstimator>> Create(
+      const GridHistogram& data, const Universal2dOptions& options, Rng* rng);
 
   double RectCount(const Rect& rect) const override;
   std::string Name() const override { return "Q2d-bar"; }

@@ -119,6 +119,38 @@ WaveletEstimator::WaveletEstimator(const Histogram& data,
   prefix_ = PrefixSums(leaves_);
 }
 
+WaveletEstimator::WaveletEstimator(const WaveletOptions& options,
+                                   std::vector<double> leaves)
+    : round_answers_(options.round_to_nonnegative_integers),
+      domain_size_(static_cast<std::int64_t>(leaves.size())),
+      padded_size_(PadToPowerOfTwo(static_cast<std::int64_t>(leaves.size()))),
+      leaves_(std::move(leaves)) {
+  prefix_ = PrefixSums(leaves_);
+}
+
+Result<std::unique_ptr<WaveletEstimator>> WaveletEstimator::Create(
+    const Histogram& data, const WaveletOptions& options, Rng* rng) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("wavelet estimator needs an RNG");
+  }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (data.size() < 1) {
+    return Status::InvalidArgument("wavelet estimator needs a non-empty domain");
+  }
+  return std::make_unique<WaveletEstimator>(data, options, rng);
+}
+
+Result<std::unique_ptr<WaveletEstimator>> WaveletEstimator::Restore(
+    const WaveletOptions& options, std::vector<double> leaves) {
+  if (leaves.empty()) {
+    return Status::InvalidArgument("wavelet restore needs a non-empty domain");
+  }
+  return std::unique_ptr<WaveletEstimator>(
+      new WaveletEstimator(options, std::move(leaves)));
+}
+
 double WaveletEstimator::RangeCount(const Interval& range) const {
   DPHIST_CHECK_MSG(range.lo() >= 0 && range.hi() < domain_size_,
                    "range outside the estimator's domain");

@@ -27,9 +27,11 @@
 #define DPHIST_ESTIMATORS_WAVELET_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "domain/histogram.h"
 #include "estimators/range_engine.h"
 
@@ -62,6 +64,19 @@ class WaveletEstimator : public RangeCountEstimator {
   WaveletEstimator(const Histogram& data, const WaveletOptions& options,
                    Rng* rng);
 
+  /// Validating construction for serving paths: invalid options or a
+  /// missing RNG become a Status instead of aborting the process. The
+  /// plain constructor keeps its CHECKs for the experiment binaries.
+  static Result<std::unique_ptr<WaveletEstimator>> Create(
+      const Histogram& data, const WaveletOptions& options, Rng* rng);
+
+  /// Rebuilds the estimator from persisted reconstructed leaves: padding
+  /// geometry and the prefix table are recomputed deterministically, so
+  /// every answer is bit-identical to the original's. Fails on an empty
+  /// vector.
+  static Result<std::unique_ptr<WaveletEstimator>> Restore(
+      const WaveletOptions& options, std::vector<double> leaves);
+
   double RangeCount(const Interval& range) const override;
   std::string Name() const override { return "Wavelet"; }
 
@@ -78,7 +93,14 @@ class WaveletEstimator : public RangeCountEstimator {
   /// Padded transform length (power of two).
   std::int64_t padded_size() const { return padded_size_; }
 
+  /// The reconstructed leaves: everything Restore needs.
+  const std::vector<double>* SerializableState() const override {
+    return &leaves_;
+  }
+
  private:
+  WaveletEstimator(const WaveletOptions& options, std::vector<double> leaves);
+
   bool round_answers_;
   std::int64_t domain_size_;
   std::int64_t padded_size_;

@@ -58,6 +58,35 @@ WorkloadProfile WorkloadProfile::GeometricSweep(std::int64_t domain_size) {
   return profile;
 }
 
+Result<WorkloadProfile> WorkloadProfile::Restore(
+    std::int64_t domain_size, std::map<std::int64_t, double> lengths,
+    const std::array<double, kHeatBins>& heat) {
+  if (domain_size < 1) {
+    return Status::InvalidArgument("domain must be non-empty");
+  }
+  WorkloadProfile profile(domain_size);
+  for (const auto& [length, weight] : lengths) {
+    if (length < 1 || length > domain_size) {
+      return Status::InvalidArgument(
+          "persisted profile length outside [1, domain_size]");
+    }
+    if (weight <= 0.0) {
+      return Status::InvalidArgument(
+          "persisted profile weight must be positive");
+    }
+    profile.total_weight_ += weight;
+  }
+  profile.lengths_ = std::move(lengths);
+  for (double bin : heat) {
+    if (bin < 0.0) {
+      return Status::InvalidArgument("persisted heat bin must be >= 0");
+    }
+    profile.heat_weight_ += bin;
+  }
+  profile.heat_ = heat;
+  return profile;
+}
+
 Result<WorkloadProfile> WorkloadProfile::FromQueryFile(
     const std::string& path, std::int64_t domain_size) {
   Result<std::vector<Interval>> workload =

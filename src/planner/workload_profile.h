@@ -63,6 +63,14 @@ class WorkloadProfile {
   static Result<WorkloadProfile> FromQueryFile(const std::string& path,
                                                std::int64_t domain_size);
 
+  /// Rebuilds a profile from its persisted summary (the length_weights
+  /// map plus the raw position-heat bins); total and heat weights are
+  /// recomputed as the plain sums of what is restored. Rejects lengths
+  /// outside [1, domain_size], non-positive weights, and negative heat.
+  static Result<WorkloadProfile> Restore(
+      std::int64_t domain_size, std::map<std::int64_t, double> lengths,
+      const std::array<double, kHeatBins>& heat);
+
   std::int64_t domain_size() const { return domain_size_; }
   double total_weight() const { return total_weight_; }
   bool empty() const { return lengths_.empty(); }

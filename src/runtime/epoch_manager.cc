@@ -20,6 +20,8 @@ const char* ReplanTriggerName(ReplanTrigger trigger) {
       return "every";
     case ReplanTrigger::kDrift:
       return "drift";
+    case ReplanTrigger::kRecover:
+      return "recover";
   }
   return "unknown";
 }
@@ -70,55 +72,132 @@ void EpochManager::ReleaseBusy() {
   idle_cv_.notify_all();
 }
 
+void EpochManager::RollbackCharge(bool logged, std::uint64_t wal_offset) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Can only fail on an empty ledger, and we charged moments ago under
+    // the busy token nobody else holds — a true programming error.
+    Status rolled = accountant_.RollbackLast();
+    DPHIST_CHECK_MSG(rolled.ok(), "rollback of a fresh charge failed");
+    stats_.epsilon_spent = accountant_.spent();
+    stats_.spend_rollbacks += 1;
+  }
+  if (logged && options_.store != nullptr) {
+    // Best-effort: if the truncation itself fails, the WAL over-counts
+    // the budget relative to memory — conservative (epsilon lost, never
+    // minted), and the next Recover() simply charges it again.
+    (void)options_.store->RollbackTo(wal_offset);
+  }
+}
+
+Result<std::shared_ptr<const Snapshot>> EpochManager::ChargeAndPublish(
+    const SnapshotOptions& options, const std::string& purpose,
+    const planner::WorkloadProfile* profile) {
+  // Gate, seed, and charge atomically under mutex_ (the busy token we
+  // hold keeps any other spend path out between the gate and the
+  // charge). The seed is drawn only on a successful charge, so the seed
+  // stream advances exactly once per ledger entry — what lets Recover()
+  // fast-forward it by the replayed ledger's length.
+  std::uint64_t seed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!accountant_.CanSpend(options.epsilon)) {
+      stats_.budget_refusals += 1;
+      return Status::FailedPrecondition(
+          "refused: spending " + std::to_string(options.epsilon) +
+          " would exceed the epsilon budget (remaining " +
+          std::to_string(accountant_.remaining()) + ")");
+    }
+    seed = NextSeedLocked();
+    Status spent = accountant_.Spend(options.epsilon, purpose);
+    if (!spent.ok()) {
+      // Unreachable after a passing gate, but a refused spend must stay
+      // a refusal — not a CHECK-abort — on the server.
+      stats_.budget_refusals += 1;
+      return spent;
+    }
+    stats_.epsilon_spent = accountant_.spent();
+  }
+
+  // Durability point: once this append returns, a crash anywhere below
+  // still counts the epsilon on replay.
+  std::uint64_t wal_offset = 0;
+  bool logged = false;
+  if (options_.store != nullptr) {
+    Result<std::uint64_t> offset =
+        options_.store->AppendSpend(options.epsilon, purpose);
+    if (!offset.ok()) {
+      RollbackCharge(false, 0);
+      return offset.status();
+    }
+    wal_offset = offset.value();
+    logged = true;
+  }
+
+  Result<QueryService::PendingPublish> pending =
+      service_->BuildForPublish(data_, options, seed);
+  if (!pending.ok()) {
+    RollbackCharge(logged, wal_offset);
+    return pending.status();
+  }
+
+  if (options_.store != nullptr) {
+    // Swap record before snapshot persist: if either fails, truncating
+    // back to wal_offset removes both and no durable artifact of this
+    // never-visible epoch remains (PersistSnapshot replaces the
+    // snapshot file atomically as its last step).
+    Status swap = options_.store->AppendEpochSwap(pending.value().epoch());
+    if (!swap.ok()) {
+      RollbackCharge(true, wal_offset);
+      return swap;
+    }
+    Status persisted = options_.store->PersistSnapshot(
+        *pending.value().snapshot(), profile);
+    if (!persisted.ok()) {
+      RollbackCharge(true, wal_offset);
+      return persisted;
+    }
+  }
+  return service_->CommitPublish(std::move(pending).value());
+}
+
 Result<ReplanOutcome> EpochManager::PublishInitial(
     const planner::WorkloadProfile* profile) {
   ReplanOutcome outcome;
   outcome.trigger = ReplanTrigger::kInitial;
 
-  // Hold the busy token across gate -> publish -> spend. Without it a
+  // Hold the busy token across gate -> charge -> publish. Without it a
   // concurrent replan could drain the budget between the CanSpend check
-  // and the Spend below (the TOCTOU that used to CHECK-abort a server
-  // whose two sessions raced a replan against a publish).
+  // and the Spend (the TOCTOU that used to CHECK-abort a server whose
+  // two sessions raced a replan against a publish).
   AcquireBusy();
-  bool refused = false;
-  std::uint64_t seed = 0;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!accountant_.CanSpend(options_.base.epsilon)) {
-      stats_.budget_refusals += 1;
-      refused = true;
-    } else {
-      seed = NextSeedLocked();
-    }
-  }
-  if (refused) {
-    ReleaseBusy();
-    return Status::FailedPrecondition(
-        "initial publish would exceed the epsilon budget");
-  }
-
-  Result<std::shared_ptr<const Snapshot>> published =
-      Status::Internal("unset");
+  SnapshotOptions chosen = options_.base;
+  const planner::WorkloadProfile* persist_profile = profile;
+  std::optional<planner::WorkloadProfile> planning;
   if (options_.base.strategy == StrategyKind::kAuto) {
-    planner::WorkloadProfile planning =
-        (profile != nullptr && !profile->empty())
-            ? *profile
-            : service_->ObservedWorkload(data_.size());
-    if (planning.empty()) {
+    planning = (profile != nullptr && !profile->empty())
+                   ? *profile
+                   : service_->ObservedWorkload(data_.size());
+    if (planning->empty() && recovered_profile_.has_value()) {
+      planning = *recovered_profile_;
+    }
+    if (planning->empty()) {
       planning = planner::WorkloadProfile::GeometricSweep(data_.size());
     }
     Result<planner::Plan> plan = planner::ChoosePlan(
-        planning, options_.base, options_.planner, &cost_cache_);
+        *planning, options_.base, options_.planner, &cost_cache_);
     if (!plan.ok()) {
       ReleaseBusy();
       return plan.status();
     }
     outcome.planned = true;
     outcome.plan = std::move(plan).value();
-    published = service_->PublishFromPlan(data_, outcome.plan, seed);
-  } else {
-    published = service_->Publish(data_, options_.base, seed);
+    chosen = outcome.plan.options;
+    persist_profile = &*planning;
   }
+
+  Result<std::shared_ptr<const Snapshot>> published =
+      ChargeAndPublish(chosen, "publish (initial)", persist_profile);
   if (!published.ok()) {
     ReleaseBusy();
     return published.status();
@@ -129,15 +208,69 @@ Result<ReplanOutcome> EpochManager::PublishInitial(
   outcome.epoch = outcome.snapshot->epoch();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    // Unreachable failure: every spend path holds the busy token across
-    // its gate, so the budget checked above cannot have shrunk.
-    Status spent = accountant_.Spend(
-        options_.base.epsilon,
-        std::string("publish epoch ") + std::to_string(outcome.epoch));
-    DPHIST_CHECK_MSG(spent.ok(), "accountant refused a gated spend");
     stats_.republishes += 1;
-    stats_.epsilon_spent = accountant_.spent();
     SnapshotCostCacheStatsLocked();
+    count_at_last_publish_ = service_->observed_query_count();
+    count_at_last_drift_check_ = count_at_last_publish_;
+  }
+  ReleaseBusy();
+  return outcome;
+}
+
+Result<ReplanOutcome> EpochManager::Recover() {
+  if (options_.store == nullptr) {
+    return Status::FailedPrecondition(
+        "Recover needs a configured EpochStore (options.store)");
+  }
+  AcquireBusy();
+  Result<storage::RecoveredState> recovered = options_.store->Recover();
+  if (!recovered.ok()) {
+    ReleaseBusy();
+    return recovered.status();
+  }
+  storage::RecoveredState state = std::move(recovered).value();
+
+  ReplanOutcome outcome;
+  outcome.trigger = ReplanTrigger::kRecover;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t entries = state.ledger.size();
+    Status imported = accountant_.ImportLedger(std::move(state.ledger));
+    if (!imported.ok()) {
+      ReleaseBusy();
+      return imported;
+    }
+    stats_.epsilon_spent = accountant_.spent();
+    // One publish seed was drawn per ledger entry in the crashed
+    // process; fast-forward past them so post-restart publishes draw
+    // the seeds they would have drawn had the process never died.
+    for (std::size_t i = 0; i < entries; ++i) (void)NextSeedLocked();
+  }
+
+  if (state.snapshot != nullptr) {
+    if (state.snapshot->domain_size() != data_.size()) {
+      ReleaseBusy();
+      return Status::IoError(
+          "recovered snapshot covers a different domain (" +
+          std::to_string(state.snapshot->domain_size()) + " positions vs " +
+          std::to_string(data_.size()) + " in the data)");
+    }
+    Result<std::shared_ptr<const Snapshot>> installed =
+        service_->PublishRestored(state.snapshot);
+    if (!installed.ok()) {
+      ReleaseBusy();
+      return installed.status();
+    }
+    outcome.republished = true;
+    outcome.snapshot = std::move(state.snapshot);
+    outcome.epoch = outcome.snapshot->epoch();
+  }
+  recovered_profile_ = std::move(state.profile);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.recoveries += 1;
+    if (outcome.republished) stats_.republishes += 1;
     count_at_last_publish_ = service_->observed_query_count();
     count_at_last_drift_check_ = count_at_last_publish_;
   }
@@ -151,6 +284,11 @@ ReplanOutcome EpochManager::ExecuteReplan(ReplanTrigger trigger) {
 
   planner::WorkloadProfile profile =
       service_->ObservedWorkload(data_.size());
+  if (profile.empty() && recovered_profile_.has_value()) {
+    // Fresh restart, no traffic yet: plan against the profile the
+    // crashed process persisted rather than a blind prior.
+    profile = *recovered_profile_;
+  }
   if (profile.empty()) {
     profile = planner::WorkloadProfile::GeometricSweep(data_.size());
   }
@@ -193,20 +331,9 @@ ReplanOutcome EpochManager::ExecuteReplan(ReplanTrigger trigger) {
     }
   }
 
-  std::uint64_t seed;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!accountant_.CanSpend(options_.base.epsilon)) {
-      stats_.budget_refusals += 1;
-      outcome.status = Status::FailedPrecondition(
-          "replan refused: epsilon budget exhausted");
-      return outcome;
-    }
-    seed = NextSeedLocked();
-  }
-
-  Result<std::shared_ptr<const Snapshot>> published =
-      service_->PublishFromPlan(data_, outcome.plan, seed);
+  Result<std::shared_ptr<const Snapshot>> published = ChargeAndPublish(
+      outcome.plan.options,
+      std::string("replan (") + ReplanTriggerName(trigger) + ")", &profile);
   if (!published.ok()) {
     outcome.status = published.status();
     return outcome;
@@ -214,13 +341,6 @@ ReplanOutcome EpochManager::ExecuteReplan(ReplanTrigger trigger) {
   outcome.republished = true;
   outcome.snapshot = published.value();
   outcome.epoch = outcome.snapshot->epoch();
-  std::lock_guard<std::mutex> lock(mutex_);
-  Status spent = accountant_.Spend(
-      options_.base.epsilon, std::string("replan (") +
-                                 ReplanTriggerName(trigger) + ") epoch " +
-                                 std::to_string(outcome.epoch));
-  DPHIST_CHECK_MSG(spent.ok(), "accountant refused a gated spend");
-  stats_.epsilon_spent = accountant_.spent();
   return outcome;
 }
 
@@ -249,6 +369,7 @@ void EpochManager::RecordLocked(const ReplanOutcome& outcome,
         stats_.drift += 1;
         break;
       case ReplanTrigger::kInitial:
+      case ReplanTrigger::kRecover:
         break;
     }
   } else if (outcome.status.ok()) {

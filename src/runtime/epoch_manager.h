@@ -41,6 +41,8 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -50,13 +52,14 @@
 #include "mechanism/privacy_accountant.h"
 #include "planner/planner.h"
 #include "service/query_service.h"
+#include "storage/epoch_store.h"
 
 namespace dphist::runtime {
 
 /// Why a republish (or drift check) happened.
-enum class ReplanTrigger { kInitial, kManual, kEveryN, kDrift };
+enum class ReplanTrigger { kInitial, kManual, kEveryN, kDrift, kRecover };
 
-/// Short stable name ("initial", "manual", "every", "drift").
+/// Short stable name ("initial", "manual", "every", "drift", "recover").
 const char* ReplanTriggerName(ReplanTrigger trigger);
 
 struct EpochManagerOptions {
@@ -80,6 +83,11 @@ struct EpochManagerOptions {
   /// Total epsilon the manager may spend across every publish; 0 means
   /// unlimited. A replan that would overspend is refused and counted.
   double epsilon_budget = 0.0;
+  /// Durable state (not owned; must outlive the manager). When set,
+  /// every spend is WAL-appended and every committed publish persisted
+  /// BEFORE it becomes visible, and Recover() can warm-restart the
+  /// manager into its last epoch. Null keeps the manager RAM-only.
+  storage::EpochStore* store = nullptr;
 };
 
 /// What one trigger firing did.
@@ -138,6 +146,18 @@ class EpochManager {
   Result<ReplanOutcome> PublishInitial(
       const planner::WorkloadProfile* profile = nullptr);
 
+  /// Replays the configured store (options.store must be set): imports
+  /// the WAL spend ledger into the accountant bit-exactly, fast-forwards
+  /// the publish seed stream by one draw per recovered spend, installs
+  /// the persisted snapshot (if any) as the current epoch with
+  /// bit-identical answers, and keeps the persisted planner profile for
+  /// replans until fresh traffic accumulates. Call once, before
+  /// PublishInitial: outcome.republished tells whether a snapshot was
+  /// restored (when false, the caller still needs an initial publish —
+  /// which the recovered ledger gates, so a restart can never republish
+  /// beyond the budget). Corrupt state is an IoError, never garbage.
+  Result<ReplanOutcome> Recover();
+
   /// Checks the triggers against the service's observed counters and
   /// starts (async) or performs (sync) at most one replan. Returns true
   /// when a replan or drift check was started/performed by this call.
@@ -178,6 +198,10 @@ class EpochManager {
     std::uint64_t drift_checks = 0;   // evaluations that kept the release
     std::uint64_t failures = 0;       // attempts that errored
     std::uint64_t budget_refusals = 0;
+    std::uint64_t recoveries = 0;     // successful Recover() calls
+    /// Charges rolled back (memory + WAL) because the publish they paid
+    /// for failed before becoming visible.
+    std::uint64_t spend_rollbacks = 0;
     /// Incremental cost-cache counters (IncrementalCostModel::Stats):
     /// candidate costings served by re-running the variance oracle vs.
     /// re-weighting memoized per-length variance vectors.
@@ -199,6 +223,22 @@ class EpochManager {
   /// gate, publish. Runs with `busy_` held (never concurrently with
   /// itself); takes mutex_ only for short state reads/writes.
   ReplanOutcome ExecuteReplan(ReplanTrigger trigger);
+
+  /// The spend-before-publish core shared by PublishInitial and
+  /// ExecuteReplan (busy token held, mutex_ not). In order: budget gate
+  /// + seed draw + in-memory charge (atomic under mutex_), durable WAL
+  /// spend append, snapshot build, durable swap append + snapshot
+  /// persist, and only then the in-memory commit — so a crash at ANY
+  /// point either never charged, or charged for a release that was
+  /// never served (conservative). Any failure after the charge rolls
+  /// back both the ledger entry and the WAL records.
+  Result<std::shared_ptr<const Snapshot>> ChargeAndPublish(
+      const SnapshotOptions& options, const std::string& purpose,
+      const planner::WorkloadProfile* profile);
+
+  /// Undoes an in-memory charge (and, when `logged`, its WAL record)
+  /// after the publish it paid for failed. Requires the busy token.
+  void RollbackCharge(bool logged, std::uint64_t wal_offset);
 
   /// Blocks until the busy token is free (no replan queued or running)
   /// and takes it / releases it. Every path that spends epsilon holds
@@ -248,6 +288,9 @@ class EpochManager {
   std::uint64_t count_at_last_publish_ = 0;
   std::uint64_t count_at_last_drift_check_ = 0;
   Rng seed_rng_;
+  /// The planner profile recovered from the store, used by replans while
+  /// the observed workload is still empty. Mutated under the busy token.
+  std::optional<planner::WorkloadProfile> recovered_profile_;
   std::thread worker_;  // running only when options_.async
 };
 

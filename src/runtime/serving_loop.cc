@@ -51,11 +51,13 @@ class Executor {
   /// lifetime, so concurrent sessions each see every completed replan
   /// exactly once instead of racing over one shared queue.
   Executor(SessionWriter& writer, QueryService& service,
-           EpochManager& manager)
+           EpochManager& manager,
+           std::function<std::uint64_t()> session_write_errors = nullptr)
       : writer_(writer),
         service_(service),
         manager_(manager),
-        subscription_(manager) {}
+        subscription_(manager),
+        session_write_errors_(std::move(session_write_errors)) {}
 
   SessionSummary& summary() { return summary_; }
 
@@ -178,6 +180,9 @@ class Executor {
          << " cache_hits=" << cache.hits << " cache_misses=" << cache.misses
          << " admission_rejects=" << cache.admission_rejects
          << " cache_size=" << service_.cache_size();
+    if (session_write_errors_) {
+      text << " write_errors=" << session_write_errors_();
+    }
     writer_.Comment(text.str());
   }
 
@@ -185,6 +190,7 @@ class Executor {
   QueryService& service_;
   EpochManager& manager_;
   EpochSubscription subscription_;
+  std::function<std::uint64_t()> session_write_errors_;
   SessionSummary summary_;
   std::vector<double> answers_;  // reused across commands
 };
@@ -203,14 +209,14 @@ void WriteServingBanner(SessionWriter& writer, const Snapshot& snapshot) {
 
 Result<SessionSummary> RunStreamingSession(
     std::istream& in, SessionWriter& writer, QueryService& service,
-    EpochManager& manager, const ServingLoopOptions& /*options*/) {
+    EpochManager& manager, const ServingLoopOptions& options) {
   std::shared_ptr<const Snapshot> snap = service.snapshot();
   if (snap == nullptr) {
     return Status::FailedPrecondition(
         "streaming session needs a published snapshot");
   }
   SessionReader reader(in, snap->domain_size());
-  Executor executor(writer, service, manager);
+  Executor executor(writer, service, manager, options.session_write_errors);
   while (true) {
     Result<SessionCommand> command = reader.Next();
     if (!command.ok()) {
@@ -242,7 +248,7 @@ Result<SessionSummary> RunScriptedSession(
     return Status::FailedPrecondition(
         "scripted session needs a published snapshot");
   }
-  Executor executor(writer, service, manager);
+  Executor executor(writer, service, manager, options.session_write_errors);
   std::vector<Interval> run;  // coalesced consecutive single-range queries
   std::size_t i = 0;
   while (i < script.size()) {

@@ -24,6 +24,7 @@
 #define DPHIST_RUNTIME_SERVING_LOOP_H_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <vector>
 
@@ -40,6 +41,11 @@ struct ServingLoopOptions {
   /// sessions answer on the calling thread — concurrency there comes
   /// from the manager's replan worker.
   std::int64_t threads = 1;
+  /// When set, the `stats` command appends " write_errors=N" with this
+  /// callback's value — the transport binds it to the session's own
+  /// stream so a client can ask whether any of its answers were lost to
+  /// a failed flush. Unset (stdin/file sessions) omits the field.
+  std::function<std::uint64_t()> session_write_errors;
 };
 
 /// What a session did, for the final "# served ..." report.

@@ -44,7 +44,19 @@ FdStreamBuf::int_type FdStreamBuf::underflow() {
   do {
     n = ::recv(fd_, in_buf_, kBufSize, 0);
   } while (n < 0 && errno == EINTR);
-  if (n <= 0) return traits_type::eof();  // peer closed or socket error
+  if (n == 0) {
+    // Clean FIN: the peer finished its script and hung up on purpose.
+    orderly_eof_.store(true, std::memory_order_relaxed);
+    return traits_type::eof();
+  }
+  if (n < 0) {
+    // Socket error. ECONNRESET (peer vanished mid-conversation) is the
+    // crash signature worth distinguishing from an orderly goodbye.
+    if (errno == ECONNRESET) {
+      peer_reset_.store(true, std::memory_order_relaxed);
+    }
+    return traits_type::eof();
+  }
   setg(in_buf_, in_buf_, in_buf_ + static_cast<std::size_t>(n));
   return traits_type::to_int_type(*gptr());
 }
@@ -59,6 +71,12 @@ bool FdStreamBuf::FlushOut() {
                        MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == ECONNRESET || errno == EPIPE) {
+        peer_reset_.store(true, std::memory_order_relaxed);
+      }
+      // The pending bytes are gone; count the loss instead of silently
+      // resetting the buffer — `stats` and the server receipt report it.
+      write_errors_.fetch_add(1, std::memory_order_relaxed);
       setp(out_buf_, out_buf_ + kBufSize);
       return false;
     }
@@ -238,8 +256,14 @@ void SocketServer::ServeConnection(std::shared_ptr<SocketStream> stream) {
   } else {
     WriteServingBanner(writer, *snapshot);
     writer.Flush();
-    Result<SessionSummary> session = RunStreamingSession(
-        *stream, writer, service_, manager_, options_.loop);
+    // Bind the stats line's write_errors field to THIS connection's
+    // stream, so a client can ask mid-session whether any of its
+    // answers were lost to a failed flush.
+    ServingLoopOptions loop = options_.loop;
+    SocketStream* raw = stream.get();
+    loop.session_write_errors = [raw] { return raw->write_errors(); };
+    Result<SessionSummary> session =
+        RunStreamingSession(*stream, writer, service_, manager_, loop);
     if (session.ok()) {
       summary = session.value();
       std::ostringstream text;
@@ -256,6 +280,8 @@ void SocketServer::ServeConnection(std::shared_ptr<SocketStream> stream) {
   std::lock_guard<std::mutex> lock(mutex_);
   stats_.completed += 1;
   stats_.queries += summary.queries;
+  stats_.write_errors += stream->write_errors();
+  if (stream->peer_reset()) stats_.peer_resets += 1;
   if (!status.ok()) stats_.session_errors += 1;
   // The stream (and its fd) dies with the last shared_ptr — here,
   // unless Stop() is concurrently holding one to shut it down.

@@ -30,6 +30,7 @@
 #ifndef DPHIST_RUNTIME_TRANSPORT_H_
 #define DPHIST_RUNTIME_TRANSPORT_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <istream>
@@ -52,6 +53,24 @@ class FdStreamBuf : public std::streambuf {
  public:
   explicit FdStreamBuf(int fd);
 
+  /// Flushes that failed to deliver every pending byte. A session whose
+  /// answers were silently dropped by a dying connection used to look
+  /// identical to a clean one; this counter is what `stats` and the
+  /// server's final receipt surface instead.
+  std::uint64_t write_errors() const {
+    return write_errors_.load(std::memory_order_relaxed);
+  }
+  /// True once a read saw a clean FIN (recv returned 0): the peer
+  /// finished and hung up on purpose.
+  bool orderly_eof() const {
+    return orderly_eof_.load(std::memory_order_relaxed);
+  }
+  /// True once a read failed with ECONNRESET: the peer vanished
+  /// mid-conversation rather than closing.
+  bool peer_reset() const {
+    return peer_reset_.load(std::memory_order_relaxed);
+  }
+
  protected:
   int_type underflow() override;
   int_type overflow(int_type ch) override;
@@ -65,6 +84,11 @@ class FdStreamBuf : public std::streambuf {
   int fd_;
   char in_buf_[kBufSize];
   char out_buf_[kBufSize];
+  /// Atomics: bumped on the session thread, read by the server's stats
+  /// aggregation from other threads.
+  std::atomic<std::uint64_t> write_errors_{0};
+  std::atomic<bool> orderly_eof_{false};
+  std::atomic<bool> peer_reset_{false};
 };
 
 /// Owning iostream over a connected socket: closes the fd on
@@ -78,6 +102,11 @@ class SocketStream : public std::iostream {
   SocketStream& operator=(const SocketStream&) = delete;
 
   int fd() const { return fd_; }
+
+  /// See FdStreamBuf::write_errors / orderly_eof / peer_reset.
+  std::uint64_t write_errors() const { return buf_.write_errors(); }
+  bool orderly_eof() const { return buf_.orderly_eof(); }
+  bool peer_reset() const { return buf_.peer_reset(); }
 
   /// Shuts the socket down in both directions, unblocking a thread
   /// parked in a read. Safe to call from another thread.
@@ -143,6 +172,8 @@ class SocketServer {
     std::uint64_t completed = 0;       // sessions ended (incl. errors)
     std::uint64_t session_errors = 0;  // sessions that ended in error
     std::uint64_t queries = 0;         // ranges answered across sessions
+    std::uint64_t write_errors = 0;    // flushes that lost output bytes
+    std::uint64_t peer_resets = 0;     // sessions ended by ECONNRESET
   };
   Stats stats() const;
 

@@ -28,7 +28,7 @@ QueryService::QueryService(const QueryServiceOptions& options)
   }
 }
 
-Result<std::shared_ptr<const Snapshot>> QueryService::Publish(
+Result<QueryService::PendingPublish> QueryService::BuildForPublish(
     const Histogram& data, const SnapshotOptions& options,
     std::uint64_t seed, const planner::WorkloadProfile* workload) {
   SnapshotOptions resolved = options;
@@ -49,15 +49,24 @@ Result<std::shared_ptr<const Snapshot>> QueryService::Publish(
   }
   // Serializing publishers keeps epoch order equal to publish order; the
   // expensive Build happens inside this writer-only lock, which readers
-  // never touch.
-  std::lock_guard<std::mutex> lock(publish_mutex_);
+  // never touch. The lock rides inside the PendingPublish until it is
+  // committed or abandoned.
+  std::unique_lock<std::mutex> lock(publish_mutex_);
   const std::uint64_t epoch = last_epoch_ + 1;
   Rng rng(seed);
   Result<std::shared_ptr<const Snapshot>> built =
       Snapshot::Build(data, resolved, epoch, &rng);
-  if (!built.ok()) return built;
+  if (!built.ok()) return built.status();
+  return PendingPublish(this, std::move(lock), std::move(built).value());
+}
+
+std::shared_ptr<const Snapshot> QueryService::CommitPublish(
+    PendingPublish pending) {
+  DPHIST_CHECK_MSG(pending.service_ == this && pending.snapshot_ != nullptr,
+                   "CommitPublish needs a pending publish from this service");
+  const std::uint64_t epoch = pending.snapshot_->epoch();
   last_epoch_ = epoch;
-  snapshot_.store(built.value(), std::memory_order_release);
+  snapshot_.store(pending.snapshot_, std::memory_order_release);
   // Entries keyed by older epochs can never be served again (readers
   // that loaded the old snapshot before the swap still look up under the
   // old epoch, and a concurrent re-insert of such an entry is dropped at
@@ -71,7 +80,31 @@ Result<std::shared_ptr<const Snapshot>> QueryService::Publish(
     swap_stats_.last_swap_evictions = evicted;
     swap_stats_.total_swap_evictions += evicted;
   }
-  return built;
+  return std::move(pending.snapshot_);
+}
+
+Result<std::shared_ptr<const Snapshot>> QueryService::Publish(
+    const Histogram& data, const SnapshotOptions& options,
+    std::uint64_t seed, const planner::WorkloadProfile* workload) {
+  Result<PendingPublish> pending =
+      BuildForPublish(data, options, seed, workload);
+  if (!pending.ok()) return pending.status();
+  return CommitPublish(std::move(pending).value());
+}
+
+Result<std::shared_ptr<const Snapshot>> QueryService::PublishRestored(
+    std::shared_ptr<const Snapshot> snapshot) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("PublishRestored needs a snapshot");
+  }
+  std::unique_lock<std::mutex> lock(publish_mutex_);
+  if (snapshot->epoch() <= last_epoch_) {
+    return Status::FailedPrecondition(
+        "recovered epoch " + std::to_string(snapshot->epoch()) +
+        " is not ahead of the current epoch " + std::to_string(last_epoch_));
+  }
+  PendingPublish pending(this, std::move(lock), std::move(snapshot));
+  return CommitPublish(std::move(pending));
 }
 
 Result<std::shared_ptr<const Snapshot>> QueryService::PublishFromPlan(

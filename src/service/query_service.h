@@ -89,6 +89,60 @@ class QueryService {
       std::uint64_t seed,
       const planner::WorkloadProfile* workload = nullptr);
 
+  /// A release that has been built but is not yet visible to readers.
+  /// Holds the publisher lock, so no other publish can interleave
+  /// between building and committing (or abandoning) it. Destroying a
+  /// PendingPublish without committing aborts the publish: the lock is
+  /// released, readers never saw the snapshot, and its epoch number is
+  /// reused by the next publish. The EpochManager threads its durable
+  /// WAL append between BuildForPublish and CommitPublish so the
+  /// in-memory swap becomes visible only after the spend that paid for
+  /// it is on disk.
+  class PendingPublish {
+   public:
+    PendingPublish(PendingPublish&&) = default;
+    PendingPublish& operator=(PendingPublish&&) = default;
+
+    const std::shared_ptr<const Snapshot>& snapshot() const {
+      return snapshot_;
+    }
+    std::uint64_t epoch() const { return snapshot_->epoch(); }
+
+   private:
+    friend class QueryService;
+    PendingPublish(QueryService* service, std::unique_lock<std::mutex> lock,
+                   std::shared_ptr<const Snapshot> snapshot)
+        : service_(service),
+          lock_(std::move(lock)),
+          snapshot_(std::move(snapshot)) {}
+
+    QueryService* service_;
+    std::unique_lock<std::mutex> lock_;
+    std::shared_ptr<const Snapshot> snapshot_;
+  };
+
+  /// The first half of Publish: resolves kAuto exactly as Publish does,
+  /// assigns the next epoch, and builds the release — without making it
+  /// visible. Pass the result to CommitPublish to swap it in, or drop it
+  /// to abandon the publish entirely.
+  Result<PendingPublish> BuildForPublish(
+      const Histogram& data, const SnapshotOptions& options,
+      std::uint64_t seed,
+      const planner::WorkloadProfile* workload = nullptr);
+
+  /// The second half of Publish: atomically swaps the pending snapshot
+  /// in, purges stale cache epochs, and records the swap stats. Returns
+  /// the now-current snapshot.
+  std::shared_ptr<const Snapshot> CommitPublish(PendingPublish pending);
+
+  /// Installs a snapshot recovered from durable storage as the current
+  /// release. Unlike Publish this assigns no new epoch — the snapshot
+  /// keeps the epoch it was persisted under, which must be greater than
+  /// the service's current epoch (recovery happens before fresh
+  /// publishes, so in practice into an empty service).
+  Result<std::shared_ptr<const Snapshot>> PublishRestored(
+      std::shared_ptr<const Snapshot> snapshot);
+
   /// Publishes the configuration a planner already chose (plan.options
   /// is concrete and ready for Snapshot::Build). The hook the runtime's
   /// EpochManager uses: it runs ChoosePlan itself — off the serving

@@ -122,6 +122,102 @@ Result<std::shared_ptr<const Snapshot>> Snapshot::Build(
       new Snapshot(options, epoch, n, width, std::move(shards)));
 }
 
+namespace {
+
+Result<std::unique_ptr<RangeCountEstimator>> RestoreShard(
+    std::int64_t shard_domain, const SnapshotOptions& options,
+    std::vector<double> state) {
+  UniversalOptions universal;
+  universal.epsilon = options.epsilon;
+  universal.branching = options.branching;
+  universal.round_to_nonnegative_integers =
+      options.round_to_nonnegative_integers;
+  universal.prune_nonpositive_subtrees = options.prune_nonpositive_subtrees;
+  switch (options.strategy) {
+    case StrategyKind::kLTilde: {
+      if (static_cast<std::int64_t>(state.size()) != shard_domain) {
+        return Status::IoError("persisted L~ shard has the wrong width");
+      }
+      Result<std::unique_ptr<LTildeEstimator>> restored =
+          LTildeEstimator::Restore(universal, std::move(state));
+      if (!restored.ok()) return restored.status();
+      return std::unique_ptr<RangeCountEstimator>(
+          std::move(restored).value());
+    }
+    case StrategyKind::kHTilde: {
+      Result<std::unique_ptr<HTildeEstimator>> restored =
+          HTildeEstimator::Restore(shard_domain, universal, std::move(state));
+      if (!restored.ok()) return restored.status();
+      return std::unique_ptr<RangeCountEstimator>(
+          std::move(restored).value());
+    }
+    case StrategyKind::kHBar: {
+      Result<std::unique_ptr<HBarEstimator>> restored =
+          HBarEstimator::Restore(shard_domain, universal, std::move(state));
+      if (!restored.ok()) return restored.status();
+      return std::unique_ptr<RangeCountEstimator>(
+          std::move(restored).value());
+    }
+    case StrategyKind::kWavelet: {
+      if (static_cast<std::int64_t>(state.size()) != shard_domain) {
+        return Status::IoError("persisted wavelet shard has the wrong width");
+      }
+      WaveletOptions wavelet;
+      wavelet.epsilon = options.epsilon;
+      wavelet.round_to_nonnegative_integers =
+          options.round_to_nonnegative_integers;
+      Result<std::unique_ptr<WaveletEstimator>> restored =
+          WaveletEstimator::Restore(wavelet, std::move(state));
+      if (!restored.ok()) return restored.status();
+      return std::unique_ptr<RangeCountEstimator>(
+          std::move(restored).value());
+    }
+    case StrategyKind::kAuto:
+      break;
+  }
+  return Status::IoError("persisted snapshot has an unrestorable strategy");
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const Snapshot>> Snapshot::Restore(
+    const SnapshotOptions& options, std::uint64_t epoch,
+    std::int64_t domain_size,
+    const std::vector<std::vector<double>>& shard_states) {
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (options.branching < 2) {
+    return Status::InvalidArgument("branching must be >= 2");
+  }
+  if (options.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  if (domain_size < 1) {
+    return Status::InvalidArgument("domain must be non-empty");
+  }
+  const std::int64_t n = domain_size;
+  const std::int64_t requested = std::min(options.shards, n);
+  const std::int64_t width = (n + requested - 1) / requested;
+  const std::int64_t count = (n + width - 1) / width;
+  if (static_cast<std::int64_t>(shard_states.size()) != count) {
+    return Status::IoError(
+        "persisted snapshot shard count does not match its options");
+  }
+  std::vector<std::unique_ptr<RangeCountEstimator>> shards;
+  shards.reserve(shard_states.size());
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t lo = i * width;
+    const std::int64_t hi = std::min(n - 1, lo + width - 1);
+    Result<std::unique_ptr<RangeCountEstimator>> shard = RestoreShard(
+        hi - lo + 1, options, shard_states[static_cast<std::size_t>(i)]);
+    if (!shard.ok()) return shard.status();
+    shards.push_back(std::move(shard).value());
+  }
+  return std::shared_ptr<const Snapshot>(
+      new Snapshot(options, epoch, n, width, std::move(shards)));
+}
+
 bool Snapshot::AdmitToCache(const Interval& range) const {
   const std::int64_t first = range.lo() / shard_width_;
   const std::int64_t last = range.hi() / shard_width_;

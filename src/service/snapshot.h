@@ -91,6 +91,20 @@ class Snapshot {
       const Histogram& data, const SnapshotOptions& options,
       std::uint64_t epoch, Rng* rng);
 
+  /// Rebuilds a published snapshot from persisted per-shard estimator
+  /// state (each shard's RangeCountEstimator::SerializableState, in
+  /// domain order). Shard geometry is recomputed by Build's formula, so
+  /// `shard_states.size()` must equal the count Build would have chosen
+  /// for (options.shards, domain_size); each shard's vector must match
+  /// the strategy's expected shape for its sub-domain. No noise is
+  /// drawn — answers are bit-identical to the release that was
+  /// persisted. Fails with a Status (never aborts) on any mismatch, so
+  /// corrupt or stale state files are refusable.
+  static Result<std::shared_ptr<const Snapshot>> Restore(
+      const SnapshotOptions& options, std::uint64_t epoch,
+      std::int64_t domain_size,
+      const std::vector<std::vector<double>>& shard_states);
+
   /// Epoch assigned by the publisher; cache keys include it so answers
   /// from different releases can never be confused.
   std::uint64_t epoch() const { return epoch_; }

@@ -1,0 +1,97 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dphist::storage {
+
+BufferPool::BufferPool(DiskManager* disk, std::size_t capacity)
+    : disk_(disk), capacity_(std::max<std::size_t>(1, capacity)) {}
+
+BufferPool::~BufferPool() {
+  // Best effort: a pool dropped without FlushAll loses dirty frames by
+  // design (the epoch store always flushes before rename), but writing
+  // them back here costs nothing and helps tests that forget.
+  (void)FlushAll();
+}
+
+void BufferPool::Touch(std::list<Frame>::iterator it) {
+  frames_.splice(frames_.begin(), frames_, it);
+}
+
+Status BufferPool::EnsureCapacity() {
+  while (frames_.size() >= capacity_) {
+    Frame& victim = frames_.back();
+    if (victim.dirty) {
+      Status written = disk_->WritePage(victim.page_id, *victim.page);
+      if (!written.ok()) return written;
+      stats_.writebacks += 1;
+    }
+    index_.erase(victim.page_id);
+    frames_.pop_back();
+    stats_.evictions += 1;
+  }
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<const Page>> BufferPool::Fetch(std::uint64_t page_id) {
+  auto found = index_.find(page_id);
+  if (found != index_.end()) {
+    stats_.hits += 1;
+    Touch(found->second);
+    return std::shared_ptr<const Page>(found->second->page);
+  }
+  stats_.misses += 1;
+  auto page = std::make_shared<Page>();
+  Status read = disk_->ReadPage(page_id, page.get());
+  if (!read.ok()) return read;
+  Status room = EnsureCapacity();
+  if (!room.ok()) return room;
+  frames_.push_front(Frame{page_id, page, /*dirty=*/false});
+  index_[page_id] = frames_.begin();
+  return std::shared_ptr<const Page>(std::move(page));
+}
+
+Status BufferPool::Put(std::uint64_t page_id, const Page& page) {
+  auto found = index_.find(page_id);
+  if (found != index_.end()) {
+    *found->second->page = page;
+    found->second->dirty = true;
+    Touch(found->second);
+    return Status::Ok();
+  }
+  // A brand-new page must exist on disk before it can be evicted-clean
+  // later; write it through immediately when it extends the file so
+  // DiskManager's no-gaps invariant sees pages in append order even if
+  // LRU order would have flushed them backwards.
+  if (page_id >= disk_->page_count()) {
+    Status written = disk_->WritePage(page_id, page);
+    if (!written.ok()) return written;
+    stats_.writebacks += 1;
+    Status room = EnsureCapacity();
+    if (!room.ok()) return room;
+    frames_.push_front(
+        Frame{page_id, std::make_shared<Page>(page), /*dirty=*/false});
+    index_[page_id] = frames_.begin();
+    return Status::Ok();
+  }
+  Status room = EnsureCapacity();
+  if (!room.ok()) return room;
+  frames_.push_front(
+      Frame{page_id, std::make_shared<Page>(page), /*dirty=*/true});
+  index_[page_id] = frames_.begin();
+  return Status::Ok();
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (!frame.dirty) continue;
+    Status written = disk_->WritePage(frame.page_id, *frame.page);
+    if (!written.ok()) return written;
+    frame.dirty = false;
+    stats_.writebacks += 1;
+  }
+  return disk_->Sync();
+}
+
+}  // namespace dphist::storage

@@ -1,0 +1,83 @@
+// Small LRU buffer pool over a DiskManager.
+//
+// The snapshot codec reads and writes whole files of pages; the pool
+// keeps the hot ones in memory so recovery's meta page (re-read for
+// validation) and a restart's sequential scan do not hit the disk once
+// per access. Frames are handed out as shared_ptr — a frame stays alive
+// (pinned) for as long as a caller holds the handle, even across an
+// eviction, so there is no use-after-evict. Dirty frames are written
+// back on eviction and by FlushAll (which also syncs).
+//
+// Not thread-safe, like the DiskManager underneath: all storage traffic
+// is serialized by the epoch store.
+
+#ifndef DPHIST_STORAGE_BUFFER_POOL_H_
+#define DPHIST_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace dphist::storage {
+
+class BufferPool {
+ public:
+  /// A pool of at most `capacity` frames (>= 1) over `disk` (not owned;
+  /// must outlive the pool).
+  BufferPool(DiskManager* disk, std::size_t capacity);
+
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// The page, reading through to disk on a miss. The handle pins the
+  /// bytes for its lifetime.
+  Result<std::shared_ptr<const Page>> Fetch(std::uint64_t page_id);
+
+  /// Installs `page` as the new contents of `page_id` (dirty; written
+  /// back on eviction or FlushAll). page_id may extend the file by one,
+  /// exactly like DiskManager::WritePage.
+  Status Put(std::uint64_t page_id, const Page& page);
+
+  /// Writes every dirty frame back and syncs the file.
+  Status FlushAll();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Frame {
+    std::uint64_t page_id = 0;
+    std::shared_ptr<Page> page;
+    bool dirty = false;
+  };
+
+  /// Moves `it` to the most-recently-used position.
+  void Touch(std::list<Frame>::iterator it);
+
+  /// Evicts the least-recently-used frame (writing it back if dirty)
+  /// until a slot is free.
+  Status EnsureCapacity();
+
+  DiskManager* disk_;
+  std::size_t capacity_;
+  /// MRU at the front.
+  std::list<Frame> frames_;
+  std::map<std::uint64_t, std::list<Frame>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace dphist::storage
+
+#endif  // DPHIST_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,98 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dphist::storage {
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DiskManager>> DiskManager::Open(
+    const std::string& path, bool create) {
+  const int flags = create ? (O_RDWR | O_CREAT | O_TRUNC) : O_RDWR;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return ErrnoStatus("open " + path);
+  struct stat info {};
+  if (::fstat(fd, &info) < 0) {
+    Status status = ErrnoStatus("fstat " + path);
+    ::close(fd);
+    return status;
+  }
+  const auto size = static_cast<std::uint64_t>(info.st_size);
+  if (size % kPageSize != 0) {
+    ::close(fd);
+    return Status::IoError("page file " + path +
+                           " is not a whole number of pages (torn write?)");
+  }
+  return std::unique_ptr<DiskManager>(
+      new DiskManager(path, fd, size / kPageSize));
+}
+
+DiskManager::~DiskManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status DiskManager::ReadPage(std::uint64_t page_id, Page* page) const {
+  if (page_id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(page_id) +
+                              " past end of " + path_);
+  }
+  std::size_t done = 0;
+  while (done < kPageSize) {
+    const ssize_t n = ::pread(
+        fd_, page->bytes.data() + done, kPageSize - done,
+        static_cast<off_t>(page_id * kPageSize + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread " + path_);
+    }
+    if (n == 0) {
+      return Status::IoError("short read in " + path_);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  stats_.reads += 1;
+  return Status::Ok();
+}
+
+Status DiskManager::WritePage(std::uint64_t page_id, const Page& page) {
+  if (page_id > page_count_) {
+    return Status::InvalidArgument("page write would leave a gap in " +
+                                   path_);
+  }
+  std::size_t done = 0;
+  while (done < kPageSize) {
+    const ssize_t n = ::pwrite(
+        fd_, page.bytes.data() + done, kPageSize - done,
+        static_cast<off_t>(page_id * kPageSize + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pwrite " + path_);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (page_id == page_count_) page_count_ += 1;
+  stats_.writes += 1;
+  return Status::Ok();
+}
+
+Status DiskManager::Sync() {
+  int rc;
+  do {
+    rc = ::fsync(fd_);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return ErrnoStatus("fsync " + path_);
+  stats_.syncs += 1;
+  return Status::Ok();
+}
+
+}  // namespace dphist::storage

@@ -1,0 +1,72 @@
+// Page-granular file IO for the durable epoch store.
+//
+// DiskManager owns one file descriptor and reads/writes whole Pages at
+// page-aligned offsets via pread/pwrite, so concurrent-position
+// bookkeeping never exists and a crashed process can reopen the file
+// and see exactly the pages that were synced. All errors are Status
+// (IoError with errno text) — storage failures degrade the server, they
+// never abort it.
+//
+// Not thread-safe: the epoch store serializes all storage traffic under
+// the EpochManager's busy token (publishes) or startup (recovery).
+
+#ifndef DPHIST_STORAGE_DISK_MANAGER_H_
+#define DPHIST_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace dphist::storage {
+
+class DiskManager {
+ public:
+  /// Opens `path` for page IO. With `create` true the file is created
+  /// (and truncated to empty) if absent; false requires an existing
+  /// file. Fails with IoError when the existing file's size is not a
+  /// whole number of pages (a torn final page from a crashed write —
+  /// the caller decides whether that is tolerable).
+  static Result<std::unique_ptr<DiskManager>> Open(const std::string& path,
+                                                   bool create);
+
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Reads page `page_id` (0-based). Fails past the end of the file.
+  Status ReadPage(std::uint64_t page_id, Page* page) const;
+
+  /// Writes page `page_id`, extending the file when page_id ==
+  /// page_count(). Gaps are refused (the snapshot codec writes densely).
+  Status WritePage(std::uint64_t page_id, const Page& page);
+
+  /// fsync — pages written before this call survive a crash after it.
+  Status Sync();
+
+  std::uint64_t page_count() const { return page_count_; }
+  const std::string& path() const { return path_; }
+
+  struct Stats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t syncs = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  DiskManager(std::string path, int fd, std::uint64_t page_count)
+      : path_(std::move(path)), fd_(fd), page_count_(page_count) {}
+
+  std::string path_;
+  int fd_;
+  std::uint64_t page_count_;
+  mutable Stats stats_;
+};
+
+}  // namespace dphist::storage
+
+#endif  // DPHIST_STORAGE_DISK_MANAGER_H_

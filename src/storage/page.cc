@@ -1,0 +1,84 @@
+#include "storage/page.h"
+
+#include <cstring>
+
+#include "storage/codec.h"
+
+namespace dphist::storage {
+namespace {
+
+/// The CRC-32 lookup table, built once on first use.
+const std::uint32_t* Crc32Table() {
+  static const auto* table = [] {
+    auto* t = new std::array<std::uint32_t, 256>();
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+      }
+      (*t)[i] = crc;
+    }
+    return t;
+  }();
+  return table->data();
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const std::uint32_t* table = Crc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+Status SealPage(PageType type, const void* payload, std::size_t payload_size,
+                Page* page) {
+  if (payload_size > kPagePayloadCapacity) {
+    return Status::InvalidArgument("page payload exceeds capacity");
+  }
+  ByteWriter header;
+  header.U32(kPageMagic);
+  header.U16(kPageFormatVersion);
+  header.U16(static_cast<std::uint16_t>(type));
+  header.U32(static_cast<std::uint32_t>(payload_size));
+  header.U32(Crc32(payload, payload_size));
+  page->bytes.fill(0);
+  std::memcpy(page->bytes.data(), header.data().data(), kPageHeaderSize);
+  if (payload_size > 0) {
+    std::memcpy(page->bytes.data() + kPageHeaderSize, payload, payload_size);
+  }
+  return Status::Ok();
+}
+
+Result<PageView> OpenPage(const Page& page) {
+  ByteReader header(page.bytes.data(), kPageHeaderSize);
+  const std::uint32_t magic = header.U32();
+  const std::uint16_t version = header.U16();
+  const std::uint16_t type = header.U16();
+  const std::uint32_t payload_size = header.U32();
+  const std::uint32_t checksum = header.U32();
+  if (magic != kPageMagic) {
+    return Status::IoError("corrupt page: bad magic");
+  }
+  if (version != kPageFormatVersion) {
+    return Status::IoError("unsupported page format version " +
+                           std::to_string(version));
+  }
+  if (payload_size > kPagePayloadCapacity) {
+    return Status::IoError("corrupt page: payload length exceeds capacity");
+  }
+  const char* payload = page.bytes.data() + kPageHeaderSize;
+  if (Crc32(payload, payload_size) != checksum) {
+    return Status::IoError("corrupt page: checksum mismatch");
+  }
+  PageView view;
+  view.type = static_cast<PageType>(type);
+  view.payload = std::string_view(payload, payload_size);
+  return view;
+}
+
+}  // namespace dphist::storage

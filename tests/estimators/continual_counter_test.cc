@@ -135,5 +135,16 @@ TEST(ContinualCounterDeathTest, GuardsMisuse) {
   EXPECT_DEATH(counter.Observe(1.0), "exceeded the horizon");
 }
 
+TEST(ContinualCounterTest, CreateValidatesInsteadOfAborting) {
+  Rng rng(4);
+  EXPECT_FALSE(ContinualCounter::Create(0, 1.0, rng).ok());
+  EXPECT_FALSE(ContinualCounter::Create(-3, 1.0, rng).ok());
+  EXPECT_FALSE(ContinualCounter::Create(16, 0.0, rng).ok());
+  EXPECT_FALSE(ContinualCounter::Create(16, -0.5, rng).ok());
+  auto counter = ContinualCounter::Create(16, 1.0, rng);
+  ASSERT_TRUE(counter.ok());
+  EXPECT_EQ(counter.value().horizon(), 16);
+}
+
 }  // namespace
 }  // namespace dphist

@@ -215,5 +215,24 @@ TEST(EndToEnd2dTest, SpatialWorkloadInferenceWins) {
   EXPECT_LT(err_bar.Mean(), err_tilde.Mean());
 }
 
+TEST(Universal2dTest, CreateFactoriesValidateInsteadOfAborting) {
+  GridHistogram data = SmallGrid();
+  Universal2dOptions options = NoPostProcessing(1.0);
+  Rng rng(9);
+  EXPECT_FALSE(L2dEstimator::Create(data, options, nullptr).ok());
+  EXPECT_FALSE(Quad2dTildeEstimator::Create(data, options, nullptr).ok());
+  EXPECT_FALSE(Quad2dBarEstimator::Create(data, options, nullptr).ok());
+  Universal2dOptions bad = options;
+  bad.epsilon = 0.0;
+  EXPECT_FALSE(L2dEstimator::Create(data, bad, &rng).ok());
+  EXPECT_FALSE(Quad2dBarEstimator::Create(data, bad, &rng).ok());
+  auto l = L2dEstimator::Create(data, options, &rng);
+  ASSERT_TRUE(l.ok());
+  auto q = Quad2dTildeEstimator::Create(data, options, &rng);
+  ASSERT_TRUE(q.ok());
+  auto b = Quad2dBarEstimator::Create(data, options, &rng);
+  ASSERT_TRUE(b.ok());
+}
+
 }  // namespace
 }  // namespace dphist

@@ -161,5 +161,37 @@ TEST(WaveletEstimatorTest, ErrorComparableToBinaryHTheory) {
   EXPECT_GT(err.Mean(), 0.05 * log_n * log_n * log_n);
 }
 
+TEST(WaveletTest, CreateValidatesInsteadOfAborting) {
+  Histogram data = Histogram::FromCounts({1, 2, 3});
+  WaveletOptions options;
+  options.epsilon = 1.0;
+  Rng rng(5);
+  EXPECT_FALSE(WaveletEstimator::Create(data, options, nullptr).ok());
+  WaveletOptions bad = options;
+  bad.epsilon = 0.0;
+  EXPECT_FALSE(WaveletEstimator::Create(data, bad, &rng).ok());
+  auto built = WaveletEstimator::Create(data, options, &rng);
+  ASSERT_TRUE(built.ok());
+  EXPECT_GT(built.value()->RangeCount(Interval(0, 2)), -100.0);
+}
+
+TEST(WaveletTest, RestoreReproducesAnswersBitForBit) {
+  Histogram data = Histogram::FromCounts({4, 1, 0, 7, 2});
+  WaveletOptions options;
+  options.epsilon = 0.8;
+  Rng rng(6);
+  WaveletEstimator original(data, options, &rng);
+  auto restored =
+      WaveletEstimator::Restore(options, original.leaf_estimates());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (std::int64_t lo = 0; lo < data.size(); ++lo) {
+    for (std::int64_t hi = lo; hi < data.size(); ++hi) {
+      EXPECT_EQ(restored.value()->RangeCount(Interval(lo, hi)),
+                original.RangeCount(Interval(lo, hi)));
+    }
+  }
+  EXPECT_FALSE(WaveletEstimator::Restore(options, {}).ok());
+}
+
 }  // namespace
 }  // namespace dphist

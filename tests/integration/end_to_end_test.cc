@@ -169,9 +169,15 @@ TEST(EndToEndTest, BudgetRefusalStopsSecondTask) {
   EXPECT_TRUE(accountant.Spend(0.1, "universal histogram").ok());
   Status s = accountant.Spend(0.1, "degree sequence");
   EXPECT_FALSE(s.ok());
-  // The analyst can still afford a smaller epsilon.
-  EXPECT_TRUE(accountant.Spend(0.05, "degree sequence (reduced)").ok());
-  EXPECT_NEAR(accountant.remaining(), 0.0, 1e-12);
+  // 0.1 + 0.05 lands a hair above 0.15 in double arithmetic, and the
+  // accountant gates exactly — no drift tolerance to sneak through.
+  EXPECT_FALSE(accountant.Spend(0.05, "degree sequence (reduced)").ok());
+  // But asking for exactly what is left always succeeds and zeroes the
+  // budget: remaining() is derived from the same compensated fold the
+  // gate replays.
+  EXPECT_TRUE(
+      accountant.Spend(accountant.remaining(), "degree sequence (rest)").ok());
+  EXPECT_EQ(accountant.remaining(), 0.0);
 }
 
 TEST(EndToEndTest, InferenceIsDeterministicPostProcessing) {

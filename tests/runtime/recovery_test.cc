@@ -1,0 +1,230 @@
+// Crash-recovery contract of the durable serving lifecycle: a restart
+// replays the WAL ledger bit-exactly, re-serves the persisted epoch with
+// bit-identical answers, and can never spend epsilon the crashed process
+// already spent (or mint budget a crash "forgot").
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/zipf.h"
+#include "domain/histogram.h"
+#include "domain/interval.h"
+#include "runtime/epoch_manager.h"
+#include "service/query_service.h"
+#include "storage/epoch_store.h"
+
+namespace dphist::runtime {
+namespace {
+
+Histogram TestData(std::int64_t n) {
+  Rng rng(31);
+  return Histogram::FromCounts(ZipfCounts(n, 1.25, 5 * n, &rng));
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+EpochManagerOptions DurableOptions(storage::EpochStore* store,
+                                   double epsilon, double budget) {
+  EpochManagerOptions options;
+  options.base.strategy = StrategyKind::kHBar;
+  options.base.epsilon = epsilon;
+  options.base.shards = 2;
+  options.epsilon_budget = budget;
+  options.async = false;
+  options.store = store;
+  return options;
+}
+
+std::vector<Interval> Probes(std::int64_t n) {
+  return {Interval(0, n - 1), Interval(0, 0), Interval(n / 3, n / 2),
+          Interval(5, n - 7)};
+}
+
+TEST(RecoveryTest, RestartReplaysLedgerAndServesBitIdenticalAnswers) {
+  const std::int64_t n = 80;
+  Histogram data = TestData(n);
+  const std::string dir = FreshDir("rec_restart");
+
+  double spent_before = 0.0;
+  std::uint64_t epoch_before = 0;
+  std::vector<double> answers_before;
+  {
+    auto store = storage::EpochStore::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    QueryService service;
+    EpochManager manager(&service, data,
+                         DurableOptions(store.value().get(), 0.3, 2.0), 42);
+    ASSERT_TRUE(manager.PublishInitial().ok());
+    auto replanned = manager.ReplanNow();
+    ASSERT_TRUE(replanned.ok()) << replanned.status().ToString();
+    spent_before = manager.stats().epsilon_spent;
+    epoch_before = service.current_epoch();
+    for (const Interval& probe : Probes(n)) {
+      double answer = 0.0;
+      service.Query(probe, &answer);
+      answers_before.push_back(answer);
+    }
+  }  // the process "dies": everything in memory is gone
+
+  auto store = storage::EpochStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  QueryService service;
+  EpochManager manager(&service, data,
+                       DurableOptions(store.value().get(), 0.3, 2.0), 42);
+  auto recovered = manager.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered.value().republished);
+  EXPECT_EQ(recovered.value().trigger, ReplanTrigger::kRecover);
+  EXPECT_EQ(recovered.value().epoch, epoch_before);
+  EXPECT_EQ(service.current_epoch(), epoch_before);
+  // EXPECT_EQ on doubles on purpose: the replayed ledger and the
+  // restored answers must be bit-identical, not merely close.
+  EXPECT_EQ(manager.stats().epsilon_spent, spent_before);
+  EXPECT_EQ(manager.stats().recoveries, 1u);
+  std::size_t i = 0;
+  for (const Interval& probe : Probes(n)) {
+    double answer = 0.0;
+    service.Query(probe, &answer);
+    EXPECT_EQ(answer, answers_before[i++])
+        << "probe [" << probe.lo() << ", " << probe.hi() << "]";
+  }
+}
+
+TEST(RecoveryTest, BudgetIsNeverDoubleSpendableAcrossRestart) {
+  const std::int64_t n = 48;
+  Histogram data = TestData(n);
+  const std::string dir = FreshDir("rec_budget");
+
+  // Budget fits the initial publish but not a second release.
+  {
+    auto store = storage::EpochStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    QueryService service;
+    EpochManager manager(&service, data,
+                         DurableOptions(store.value().get(), 0.3, 0.5), 42);
+    ASSERT_TRUE(manager.PublishInitial().ok());
+    auto refused = manager.ReplanNow();
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(manager.stats().budget_refusals, 1u);
+    EXPECT_EQ(manager.stats().epsilon_spent, 0.3);
+  }
+
+  // The restart must inherit the exhausted state — recovery must not
+  // reset the meter and let the server republish from scratch.
+  auto store = storage::EpochStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  QueryService service;
+  EpochManager manager(&service, data,
+                       DurableOptions(store.value().get(), 0.3, 0.5), 42);
+  auto recovered = manager.Recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered.value().republished);
+  EXPECT_EQ(manager.stats().epsilon_spent, 0.3);
+  auto refused = manager.ReplanNow();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(manager.stats().epsilon_spent, 0.3);
+  EXPECT_EQ(manager.stats().budget_refusals, 1u);
+}
+
+TEST(RecoveryTest, CrashMidReplanStillCountsTheEpsilon) {
+  const std::int64_t n = 48;
+  Histogram data = TestData(n);
+  const std::string dir = FreshDir("rec_midreplan");
+
+  {
+    auto store = storage::EpochStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    QueryService service;
+    EpochManager manager(&service, data,
+                         DurableOptions(store.value().get(), 0.3, 2.0), 42);
+    ASSERT_TRUE(manager.PublishInitial().ok());
+    // Simulate SIGKILL between the replan's WAL append and its commit:
+    // the spend record is durable, the swap and snapshot never happened.
+    ASSERT_TRUE(store.value()->AppendSpend(0.3, "replan (manual)").ok());
+  }
+
+  auto store = storage::EpochStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  QueryService service;
+  EpochManager manager(&service, data,
+                       DurableOptions(store.value().get(), 0.3, 2.0), 42);
+  auto recovered = manager.Recover();
+  ASSERT_TRUE(recovered.ok());
+  // The interrupted replan's release was never served, but its epsilon
+  // was charged before the crash and must stay charged (conservative:
+  // a crash can lose budget, never mint it).
+  EXPECT_EQ(manager.stats().epsilon_spent, 0.3 + 0.3);
+  // The served release is still the initial epoch — the half-born one
+  // never becomes visible.
+  EXPECT_TRUE(recovered.value().republished);
+  EXPECT_EQ(recovered.value().epoch, 1u);
+}
+
+TEST(RecoveryTest, RecoverWithoutStoreIsRefusedNotFatal) {
+  Histogram data = TestData(16);
+  QueryService service;
+  EpochManagerOptions options;
+  options.base.epsilon = 0.5;
+  options.async = false;
+  EpochManager manager(&service, data, options, 42);
+  auto recovered = manager.Recover();
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RecoveryTest, FreshDirectoryRecoversNothingThenPublishes) {
+  const std::int64_t n = 32;
+  Histogram data = TestData(n);
+  auto store = storage::EpochStore::Open(FreshDir("rec_fresh"));
+  ASSERT_TRUE(store.ok());
+  QueryService service;
+  EpochManager manager(&service, data,
+                       DurableOptions(store.value().get(), 0.4, 1.0), 42);
+  auto recovered = manager.Recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(recovered.value().republished);
+  EXPECT_EQ(manager.stats().epsilon_spent, 0.0);
+  // Nothing restored: the normal first publish proceeds, and is durable.
+  ASSERT_TRUE(manager.PublishInitial().ok());
+  EXPECT_EQ(service.current_epoch(), 1u);
+  EXPECT_EQ(manager.stats().epsilon_spent, 0.4);
+}
+
+TEST(RecoveryTest, RecoveredDomainMismatchIsIoError) {
+  const std::string dir = FreshDir("rec_domain");
+  {
+    auto store = storage::EpochStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    Histogram data = TestData(64);
+    QueryService service;
+    EpochManager manager(&service, data,
+                         DurableOptions(store.value().get(), 0.3, 2.0), 42);
+    ASSERT_TRUE(manager.PublishInitial().ok());
+  }
+  // Restart against DIFFERENT data: serving the old release as if it
+  // described this histogram would be silently wrong.
+  auto store = storage::EpochStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  Histogram other = TestData(32);
+  QueryService service;
+  EpochManager manager(&service, other,
+                       DurableOptions(store.value().get(), 0.3, 2.0), 42);
+  auto recovered = manager.Recover();
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace dphist::runtime

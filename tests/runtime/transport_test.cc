@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <sstream>
@@ -247,6 +250,72 @@ TEST(SocketTransportTest, ServesNothingBeforePublish) {
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_EQ(lines[0].rfind("error:", 0), 0u);
   EXPECT_EQ(server.stats().session_errors, 1u);
+}
+
+TEST(FdStreamBufTest, LostWritesAreCountedNotSilent) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FdStreamBuf buf(fds[0]);
+  std::ostream out(&buf);
+  out << "answer 42\n";
+  out.flush();
+  ASSERT_TRUE(out.good());
+  EXPECT_EQ(buf.write_errors(), 0u);
+
+  // The peer dies; everything buffered from here on is undeliverable.
+  ::close(fds[1]);
+  out.clear();
+  out << "lost answer\n";
+  out.flush();
+  EXPECT_TRUE(out.fail());
+  EXPECT_GE(buf.write_errors(), 1u);
+  EXPECT_TRUE(buf.peer_reset());
+  ::close(fds[0]);
+}
+
+TEST(FdStreamBufTest, OrderlyCloseIsNotAPeerReset) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  {
+    FdStreamBuf writer(fds[1]);
+    std::ostream out(&writer);
+    out << "q 0 1\n";
+    out.flush();
+  }
+  ::shutdown(fds[1], SHUT_WR);
+
+  FdStreamBuf reader(fds[0]);
+  std::istream in(&reader);
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+  EXPECT_EQ(line, "q 0 1");
+  EXPECT_FALSE(static_cast<bool>(std::getline(in, line)));
+  EXPECT_TRUE(reader.orderly_eof());
+  EXPECT_FALSE(reader.peer_reset());
+  EXPECT_EQ(reader.write_errors(), 0u);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(SocketTransportTest, ServerReceiptAggregatesWriteErrors) {
+  const std::int64_t n = 64;
+  Histogram data = TestData(n);
+  QueryService service;
+  EpochManagerOptions options;
+  options.base.strategy = StrategyKind::kHTilde;
+  EpochManager manager(&service, data, options, 7);
+  ASSERT_TRUE(manager.PublishInitial().ok());
+
+  TransportOptions transport;
+  transport.port = 0;
+  transport.max_sessions = 1;
+  SocketServer server(service, manager, transport);
+  ASSERT_TRUE(server.Start().ok());
+  // A well-behaved session: the aggregate counter must stay zero.
+  std::vector<std::string> lines = RunClient(server.port(), "q 0 5\nquit\n");
+  server.WaitUntilStopped();
+  EXPECT_FALSE(lines.empty());
+  EXPECT_EQ(server.stats().write_errors, 0u);
 }
 
 }  // namespace

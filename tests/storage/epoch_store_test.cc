@@ -1,0 +1,238 @@
+#include "storage/epoch_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/zipf.h"
+#include "domain/histogram.h"
+#include "domain/interval.h"
+#include "planner/workload_profile.h"
+#include "service/snapshot.h"
+
+namespace dphist::storage {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+Histogram TestData(std::int64_t n) {
+  Rng rng(17);
+  return Histogram::FromCounts(ZipfCounts(n, 1.2, 5 * n, &rng));
+}
+
+std::vector<Interval> Probes(std::int64_t n) {
+  return {Interval(0, 0), Interval(0, n - 1), Interval(n / 4, n / 2),
+          Interval(3, 3 + n / 3), Interval(n / 2, n - 1)};
+}
+
+TEST(EpochStoreTest, FreshDirectoryRecoversEmpty) {
+  auto store = EpochStore::Open(FreshDir("es_fresh"));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  auto state = store.value()->Recover();
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_TRUE(state.value().ledger.empty());
+  EXPECT_EQ(state.value().last_swap_epoch, 0u);
+  EXPECT_FALSE(state.value().wal_tail_torn);
+  EXPECT_EQ(state.value().snapshot, nullptr);
+  EXPECT_FALSE(state.value().profile.has_value());
+}
+
+TEST(EpochStoreTest, WalLedgerSurvivesReopen) {
+  const std::string dir = FreshDir("es_ledger");
+  {
+    auto store = EpochStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->AppendSpend(0.5, "publish (initial)").ok());
+    ASSERT_TRUE(store.value()->AppendEpochSwap(1).ok());
+    ASSERT_TRUE(store.value()->AppendSpend(0.25, "replan (manual)").ok());
+    ASSERT_TRUE(store.value()->AppendEpochSwap(2).ok());
+  }
+  auto store = EpochStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  auto state = store.value()->Recover();
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state.value().ledger.size(), 2u);
+  EXPECT_EQ(state.value().ledger[0].epsilon, 0.5);
+  EXPECT_EQ(state.value().ledger[0].purpose, "publish (initial)");
+  EXPECT_EQ(state.value().ledger[1].epsilon, 0.25);
+  EXPECT_EQ(state.value().last_swap_epoch, 2u);
+}
+
+TEST(EpochStoreTest, RollbackToErasesChargeAndSwap) {
+  auto store = EpochStore::Open(FreshDir("es_rollback"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store.value()->AppendSpend(0.5, "kept").ok());
+  auto offset = store.value()->AppendSpend(0.25, "failed publish");
+  ASSERT_TRUE(offset.ok());
+  ASSERT_TRUE(store.value()->AppendEpochSwap(7).ok());
+  ASSERT_TRUE(store.value()->RollbackTo(offset.value()).ok());
+
+  auto state = store.value()->Recover();
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state.value().ledger.size(), 1u);
+  EXPECT_EQ(state.value().ledger[0].purpose, "kept");
+  EXPECT_EQ(state.value().last_swap_epoch, 0u);
+}
+
+TEST(EpochStoreTest, SnapshotRoundTripIsBitIdenticalAllStrategies) {
+  const std::int64_t n = 96;
+  Histogram data = TestData(n);
+  for (StrategyKind strategy :
+       {StrategyKind::kLTilde, StrategyKind::kHTilde, StrategyKind::kHBar,
+        StrategyKind::kWavelet}) {
+    SCOPED_TRACE(StrategyKindName(strategy));
+    SnapshotOptions options;
+    options.strategy = strategy;
+    options.epsilon = 0.4;
+    options.shards = 3;
+    Rng rng(99);
+    auto built = Snapshot::Build(data, options, 5, &rng);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+    auto store = EpochStore::Open(
+        FreshDir(std::string("es_round_") + StrategyKindName(strategy)));
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->PersistSnapshot(*built.value(), nullptr).ok());
+
+    auto state = store.value()->Recover();
+    ASSERT_TRUE(state.ok()) << state.status().ToString();
+    ASSERT_NE(state.value().snapshot, nullptr);
+    const Snapshot& restored = *state.value().snapshot;
+    EXPECT_EQ(restored.epoch(), 5u);
+    EXPECT_EQ(restored.domain_size(), n);
+    EXPECT_EQ(restored.strategy(), strategy);
+    EXPECT_EQ(restored.shard_count(), built.value()->shard_count());
+    for (const Interval& probe : Probes(n)) {
+      // EXPECT_EQ, not NEAR: recovery must reproduce the released
+      // answers bit for bit, or it is a different (unpaid-for) release.
+      EXPECT_EQ(restored.RangeCount(probe), built.value()->RangeCount(probe))
+          << "probe [" << probe.lo() << ", " << probe.hi() << "]";
+    }
+  }
+}
+
+TEST(EpochStoreTest, LatestPersistWins) {
+  const std::int64_t n = 48;
+  Histogram data = TestData(n);
+  SnapshotOptions options;
+  options.strategy = StrategyKind::kHBar;
+  options.epsilon = 0.3;
+  Rng rng(7);
+  auto first = Snapshot::Build(data, options, 1, &rng);
+  auto second = Snapshot::Build(data, options, 2, &rng);
+  ASSERT_TRUE(first.ok() && second.ok());
+
+  auto store = EpochStore::Open(FreshDir("es_latest"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store.value()->PersistSnapshot(*first.value(), nullptr).ok());
+  ASSERT_TRUE(store.value()->PersistSnapshot(*second.value(), nullptr).ok());
+  auto state = store.value()->Recover();
+  ASSERT_TRUE(state.ok());
+  ASSERT_NE(state.value().snapshot, nullptr);
+  EXPECT_EQ(state.value().snapshot->epoch(), 2u);
+  for (const Interval& probe : Probes(n)) {
+    EXPECT_EQ(state.value().snapshot->RangeCount(probe),
+              second.value()->RangeCount(probe));
+  }
+}
+
+TEST(EpochStoreTest, WorkloadProfileRoundTrips) {
+  const std::int64_t n = 64;
+  Histogram data = TestData(n);
+  SnapshotOptions options;
+  options.strategy = StrategyKind::kHTilde;
+  options.epsilon = 0.2;
+  Rng rng(3);
+  auto built = Snapshot::Build(data, options, 1, &rng);
+  ASSERT_TRUE(built.ok());
+
+  planner::WorkloadProfile profile(n);
+  profile.AddQuery(Interval(2, 9));
+  profile.AddQuery(Interval(30, 60));
+  profile.AddLength(5, 2.5);
+
+  auto store = EpochStore::Open(FreshDir("es_profile"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store.value()->PersistSnapshot(*built.value(), &profile).ok());
+  auto state = store.value()->Recover();
+  ASSERT_TRUE(state.ok());
+  ASSERT_TRUE(state.value().profile.has_value());
+  const planner::WorkloadProfile& restored = *state.value().profile;
+  EXPECT_EQ(restored.domain_size(), n);
+  EXPECT_EQ(restored.length_weights(), profile.length_weights());
+  EXPECT_EQ(restored.position_heat(), profile.position_heat());
+  EXPECT_EQ(restored.total_weight(), profile.total_weight());
+}
+
+TEST(EpochStoreTest, CorruptSnapshotRefusesLoudly) {
+  const std::int64_t n = 64;
+  Histogram data = TestData(n);
+  SnapshotOptions options;
+  options.strategy = StrategyKind::kLTilde;
+  options.epsilon = 0.2;
+  Rng rng(11);
+  auto built = Snapshot::Build(data, options, 1, &rng);
+  ASSERT_TRUE(built.ok());
+
+  const std::string dir = FreshDir("es_corrupt");
+  {
+    auto store = EpochStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->PersistSnapshot(*built.value(), nullptr).ok());
+  }
+  // Flip one byte inside the first data page's payload.
+  {
+    std::fstream file(dir + "/snapshot.db",
+                      std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.good());
+    file.seekp(4096 + 100);
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(4096 + 100);
+    byte = static_cast<char>(byte ^ 0x10);
+    file.write(&byte, 1);
+  }
+  auto store = EpochStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  auto state = store.value()->Recover();
+  ASSERT_FALSE(state.ok());
+  EXPECT_EQ(state.status().code(), StatusCode::kIoError);
+}
+
+TEST(EpochStoreTest, TornWalTailIsTruncatedOnRecover) {
+  const std::string dir = FreshDir("es_torn");
+  std::uint64_t clean_size = 0;
+  {
+    auto store = EpochStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->AppendSpend(0.5, "complete").ok());
+    clean_size = store.value()->wal_size();
+  }
+  {
+    std::ofstream file(dir + "/wal.log", std::ios::binary | std::ios::app);
+    file.write("DPW", 3);  // a record header that never finished
+  }
+  auto store = EpochStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  auto state = store.value()->Recover();
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_TRUE(state.value().wal_tail_torn);
+  ASSERT_EQ(state.value().ledger.size(), 1u);
+  EXPECT_EQ(store.value()->wal_size(), clean_size);
+  // The truncation repaired the file: a second recovery is clean.
+  auto again = store.value()->Recover();
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.value().wal_tail_torn);
+}
+
+}  // namespace
+}  // namespace dphist::storage

@@ -1,0 +1,85 @@
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace dphist::storage {
+namespace {
+
+TEST(PageTest, SealAndOpenRoundTrip) {
+  const std::string payload = "per-shard estimator state";
+  Page page;
+  ASSERT_TRUE(
+      SealPage(PageType::kSnapshotData, payload.data(), payload.size(), &page)
+          .ok());
+  Result<PageView> view = OpenPage(page);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view.value().type, PageType::kSnapshotData);
+  EXPECT_EQ(view.value().payload, payload);
+}
+
+TEST(PageTest, EmptyPayloadIsValid) {
+  Page page;
+  ASSERT_TRUE(SealPage(PageType::kSnapshotMeta, nullptr, 0, &page).ok());
+  Result<PageView> view = OpenPage(page);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view.value().payload.empty());
+}
+
+TEST(PageTest, FullCapacityPayloadFitsExactly) {
+  std::string payload(kPagePayloadCapacity, 'x');
+  Page page;
+  ASSERT_TRUE(
+      SealPage(PageType::kSnapshotData, payload.data(), payload.size(), &page)
+          .ok());
+  Result<PageView> view = OpenPage(page);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value().payload.size(), kPagePayloadCapacity);
+
+  payload.push_back('y');
+  EXPECT_FALSE(
+      SealPage(PageType::kSnapshotData, payload.data(), payload.size(), &page)
+          .ok());
+}
+
+TEST(PageTest, BitFlipInPayloadIsRefused) {
+  const std::string payload = "the checksum must catch this";
+  Page page;
+  ASSERT_TRUE(
+      SealPage(PageType::kSnapshotData, payload.data(), payload.size(), &page)
+          .ok());
+  page.bytes[kPageHeaderSize + 3] ^= 0x01;
+  Result<PageView> view = OpenPage(page);
+  ASSERT_FALSE(view.ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kIoError);
+}
+
+TEST(PageTest, WrongMagicIsRefused) {
+  Page page;
+  ASSERT_TRUE(SealPage(PageType::kSnapshotMeta, "m", 1, &page).ok());
+  page.bytes[0] = 'X';
+  Result<PageView> view = OpenPage(page);
+  ASSERT_FALSE(view.ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kIoError);
+}
+
+TEST(PageTest, ZeroedPageIsRefusedNotDecodedAsEmpty) {
+  // A page of all zeros (e.g. a hole from a torn multi-page write) must
+  // refuse at the magic check, not open as an empty kFree page.
+  Page page{};
+  EXPECT_FALSE(OpenPage(page).ok());
+}
+
+TEST(PageTest, Crc32MatchesKnownVector) {
+  // The IEEE CRC-32 of "123456789" is the classic check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  // Chaining two halves must equal one pass.
+  std::uint32_t chained = Crc32("12345", 5);
+  chained = Crc32("6789", 4, chained);
+  EXPECT_EQ(chained, 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace dphist::storage

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -17,6 +18,7 @@
 #include "domain/histogram.h"
 #include "estimators/unattributed.h"
 #include "estimators/universal.h"
+#include "mechanism/privacy_accountant.h"
 #include "planner/planner.h"
 #include "planner/workload_profile.h"
 #include "runtime/epoch_manager.h"
@@ -24,6 +26,7 @@
 #include "runtime/session.h"
 #include "runtime/transport.h"
 #include "service/query_service.h"
+#include "storage/epoch_store.h"
 
 namespace dphist::cli {
 namespace {
@@ -50,6 +53,9 @@ constexpr char kUsage[] =
     "                    [--replan-every N] [--replan-drift X]\n"
     "                    [--drift-check-every N] [--replan-sync]\n"
     "                    [--reservoir N] [--epsilon-budget B]\n"
+    "                    [--state-dir D]  (durable WAL + snapshot:\n"
+    "                     restart resumes the epsilon ledger and the\n"
+    "                     last published epoch bit-identically)\n"
     "                    [--max-sessions N] [--port-file P]  (--listen)\n"
     "                    (--stdin REPL: q lo hi | qb k lo hi ... |\n"
     "                     stats | replan | quit)\n"
@@ -59,7 +65,11 @@ constexpr char kUsage[] =
     "  plan              --queries P --epsilon E (--input P | --domain N)\n"
     "                    [--branching K] [--max-shards M]\n"
     "                    [--strategies a,b,c] [--objective mean|worst]\n"
-    "                    [--dense-oracle [--max-analyzer-width W]]\n";
+    "                    [--dense-oracle [--max-analyzer-width W]]\n"
+    "  recover           --state-dir D [--inspect]\n"
+    "                    (replay a serve --state-dir directory offline:\n"
+    "                     ledger total, last epoch, persisted snapshot;\n"
+    "                     --inspect lists every WAL spend record)\n";
 
 Status RequireFlag(const Flags& flags, const std::string& name) {
   if (!flags.Has(name)) {
@@ -305,6 +315,17 @@ Status RunServe(const Flags& flags, std::istream& in, std::ostream& out) {
         "drift-check-every >= 1");
   }
 
+  // --state-dir makes the lifecycle durable: every budget spend hits the
+  // WAL before its release becomes visible, and a restart replays the
+  // ledger and re-serves the last persisted epoch bit-identically.
+  std::unique_ptr<storage::EpochStore> store;
+  if (flags.Has("state-dir")) {
+    auto opened = storage::EpochStore::Open(flags.GetString("state-dir", ""));
+    if (!opened.ok()) return opened.status();
+    store = std::move(opened).value();
+    manager_options.store = store.get();
+  }
+
   QueryService service(service_options);
   runtime::EpochManager manager(
       &service, data.value(), manager_options,
@@ -313,6 +334,25 @@ Status RunServe(const Flags& flags, std::istream& in, std::ostream& out) {
   runtime::ServingLoopOptions loop_options;
   loop_options.threads =
       ResolveThreadCount(flags.GetInt("threads", 1, "DPHIST_THREADS"));
+
+  // With a state directory, recovery runs first: a restored snapshot is
+  // re-served as-is (no fresh epsilon spent), and only a fresh/empty
+  // directory falls through to a first publish — which the replayed
+  // ledger still gates, so a restart can never overshoot the budget.
+  auto publish_initial = [&](const planner::WorkloadProfile* profile)
+      -> Result<runtime::ReplanOutcome> {
+    if (store != nullptr) {
+      Result<runtime::ReplanOutcome> recovered = manager.Recover();
+      if (!recovered.ok()) return recovered;
+      if (recovered.value().republished) {
+        out << "# recovered epoch=" << recovered.value().epoch
+            << " epsilon_spent=" << manager.stats().epsilon_spent
+            << " from " << store->dir() << "\n";
+        return recovered;
+      }
+    }
+    return manager.PublishInitial(profile);
+  };
 
   runtime::SessionSummary summary;
   Result<runtime::ReplanOutcome> initial = Status::Internal("unset");
@@ -332,7 +372,7 @@ Status RunServe(const Flags& flags, std::istream& in, std::ostream& out) {
     }
     transport_options.loop = loop_options;
 
-    initial = manager.PublishInitial();
+    initial = publish_initial(nullptr);
     if (!initial.ok()) return initial.status();
     runtime::SocketServer server(service, manager, transport_options);
     Status started = server.Start();
@@ -373,6 +413,7 @@ Status RunServe(const Flags& flags, std::istream& in, std::ostream& out) {
     AnswerCache::Stats cache = service.cache_stats();
     out << "# served " << tstats.queries << " queries over "
         << tstats.completed << " sessions (errors=" << tstats.session_errors
+        << " write_errors=" << tstats.write_errors
         << ", cache hits=" << cache.hits << " misses=" << cache.misses
         << ")\n";
     return Status::Ok();
@@ -381,7 +422,7 @@ Status RunServe(const Flags& flags, std::istream& in, std::ostream& out) {
     // REPL over `in`: publish first (auto plans against whatever has
     // been observed — nothing yet, so the neutral geometric sweep),
     // greet, then serve until quit/EOF. Replans land mid-session.
-    initial = manager.PublishInitial();
+    initial = publish_initial(nullptr);
     if (!initial.ok()) return initial.status();
     const Snapshot& snap = *initial.value().snapshot;
     runtime::WriteServingBanner(writer, snap);
@@ -416,7 +457,7 @@ Status RunServe(const Flags& flags, std::istream& in, std::ostream& out) {
         }
       }
     }
-    initial = manager.PublishInitial(profile.empty() ? nullptr : &profile);
+    initial = publish_initial(profile.empty() ? nullptr : &profile);
     if (!initial.ok()) return initial.status();
     auto session = runtime::RunScriptedSession(script.value(), writer,
                                                service, manager,
@@ -437,7 +478,7 @@ Status RunServe(const Flags& flags, std::istream& in, std::ostream& out) {
       << current->shard_count() << ", threads=" << loop_options.threads
       << ", cache hits=" << stats.hits << " misses=" << stats.misses
       << ")\n";
-  if (!streaming && options.strategy == StrategyKind::kAuto) {
+  if (!streaming && initial.value().planned) {
     writer.PlanNote(initial.value().plan, initial.value().epoch, "initial");
   }
   return Status::Ok();
@@ -486,6 +527,51 @@ Status RunPlan(const Flags& flags, std::ostream& out) {
   return Status::Ok();
 }
 
+Status RunRecover(const Flags& flags, std::ostream& out) {
+  Status s = RequireFlag(flags, "state-dir");
+  if (!s.ok()) return s;
+  auto store = storage::EpochStore::Open(flags.GetString("state-dir", ""));
+  if (!store.ok()) return store.status();
+  auto recovered = store.value()->Recover();
+  if (!recovered.ok()) return recovered.status();
+  const storage::RecoveredState& state = recovered.value();
+
+  // Fold the ledger exactly as a restarted server would, so the total
+  // printed here is the total the server will gate against. The budget
+  // is irrelevant to the fold; import never re-gates.
+  PrivacyAccountant accountant(std::numeric_limits<double>::infinity());
+  std::vector<PrivacyAccountant::Entry> ledger = state.ledger;
+  Status imported = accountant.ImportLedger(std::move(ledger));
+  if (!imported.ok()) return imported;
+
+  const std::streamsize old_precision = out.precision(17);
+  out << "# state-dir " << store.value()->dir() << "\n"
+      << "ledger_entries " << state.ledger.size() << "\n"
+      << "epsilon_spent " << accountant.spent() << "\n"
+      << "last_swap_epoch " << state.last_swap_epoch << "\n"
+      << "wal_tail_torn " << (state.wal_tail_torn ? 1 : 0) << "\n";
+  if (state.snapshot != nullptr) {
+    out << "snapshot epoch=" << state.snapshot->epoch()
+        << " n=" << state.snapshot->domain_size() << " strategy="
+        << StrategyKindName(state.snapshot->strategy())
+        << " shards=" << state.snapshot->shard_count()
+        << " eps=" << state.snapshot->epsilon() << "\n";
+  } else {
+    out << "snapshot none\n";
+  }
+  out << "profile " << (state.profile.has_value() ? "present" : "none")
+      << "\n";
+  if (flags.GetBool("inspect", false)) {
+    std::size_t index = 0;
+    for (const PrivacyAccountant::Entry& entry : state.ledger) {
+      out << "spend " << index++ << " eps=" << entry.epsilon << " purpose=\""
+          << entry.purpose << "\"\n";
+    }
+  }
+  out.precision(old_precision);
+  return Status::Ok();
+}
+
 int Main(int argc, const char* const* argv, std::istream& in,
          std::ostream& out, std::ostream& err) {
   Flags flags = Flags::Parse(argc, argv);
@@ -507,6 +593,8 @@ int Main(int argc, const char* const* argv, std::istream& in,
     status = RunServe(flags, in, out);
   } else if (command == "plan") {
     status = RunPlan(flags, out);
+  } else if (command == "recover") {
+    status = RunRecover(flags, out);
   }
   if (!status.ok()) {
     err << "error: " << status.ToString() << "\n";

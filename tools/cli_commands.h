@@ -71,6 +71,15 @@ Status RunServe(const Flags& flags, std::istream& in, std::ostream& out);
 /// domain size, draws no noise.
 Status RunPlan(const Flags& flags, std::ostream& out);
 
+/// `recover --state-dir DIR [--inspect]`
+/// Offline replay of a `serve --state-dir` directory: refolds the WAL
+/// ledger exactly as a restarting server would and reports the epsilon
+/// total, last swapped epoch, torn-tail flag, and the persisted
+/// snapshot's identity. --inspect additionally lists every spend record.
+/// Reads no private data and mutates nothing beyond truncating a torn
+/// WAL tail (the same repair a restart performs).
+Status RunRecover(const Flags& flags, std::ostream& out);
+
 /// Dispatches on the first positional argument; prints usage on error.
 /// Returns a process exit code. `in` feeds `serve --stdin`.
 int Main(int argc, const char* const* argv, std::istream& in,

@@ -1,13 +1,13 @@
 #!/usr/bin/env bash
 # Builds the benchmark suite in Release mode, runs
 # bench_micro_range_query, bench_service_throughput,
-# bench_snapshot_build, bench_streaming_serve, bench_socket_serve, and
-# bench_plan_sweep, and writes BENCH_range_query.json,
-# BENCH_service.json, BENCH_snapshot_build.json, BENCH_streaming.json,
-# BENCH_socket.json, and BENCH_plan.json at the repo root so the
-# query-path, serving-layer, publish-latency, online-replan,
-# network-transport, and planner performance trajectories are tracked
-# from PR to PR.
+# bench_snapshot_build, bench_streaming_serve, bench_socket_serve,
+# bench_plan_sweep, and bench_recovery_restart, and writes
+# BENCH_range_query.json, BENCH_service.json, BENCH_snapshot_build.json,
+# BENCH_streaming.json, BENCH_socket.json, BENCH_plan.json, and
+# BENCH_recovery.json at the repo root so the query-path, serving-layer,
+# publish-latency, online-replan, network-transport, planner, and
+# crash-recovery performance trajectories are tracked from PR to PR.
 #
 # Usage: tools/run_bench.sh [extra micro_range_query flags...]
 #   e.g. tools/run_bench.sh --max-log2=16 --min-time-ms=100
@@ -24,7 +24,7 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release \
 cmake --build "${BUILD_DIR}" \
   --target bench_micro_range_query bench_service_throughput \
   bench_snapshot_build bench_streaming_serve bench_socket_serve \
-  bench_plan_sweep \
+  bench_plan_sweep bench_recovery_restart \
   -j >/dev/null
 
 OUT="${REPO_ROOT}/BENCH_range_query.json"
@@ -45,14 +45,18 @@ SOCKET_OUT="${REPO_ROOT}/BENCH_socket.json"
 PLAN_OUT="${REPO_ROOT}/BENCH_plan.json"
 "${BUILD_DIR}/bench_plan_sweep" > "${PLAN_OUT}"
 
+RECOVERY_OUT="${REPO_ROOT}/BENCH_recovery.json"
+"${BUILD_DIR}/bench_recovery_restart" > "${RECOVERY_OUT}"
+
 echo "wrote ${OUT}"
 echo "wrote ${SERVICE_OUT}"
 echo "wrote ${SNAPSHOT_OUT}"
 echo "wrote ${STREAMING_OUT}"
 echo "wrote ${SOCKET_OUT}"
 echo "wrote ${PLAN_OUT}"
+echo "wrote ${RECOVERY_OUT}"
 if command -v python3 >/dev/null 2>&1; then
-  python3 - "$OUT" "$SERVICE_OUT" "$SNAPSHOT_OUT" "$STREAMING_OUT" "$SOCKET_OUT" "$PLAN_OUT" <<'EOF'
+  python3 - "$OUT" "$SERVICE_OUT" "$SNAPSHOT_OUT" "$STREAMING_OUT" "$SOCKET_OUT" "$PLAN_OUT" "$RECOVERY_OUT" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     data = json.load(f)
@@ -96,5 +100,13 @@ print(f"Plan sweep at n=2^{s['max_domain_log2']}: "
       f"{s['infeasible_rows']} infeasible row(s); dense oracle at "
       f"n=2^{s['dense_domain_log2']} is {s['dense_over_recurrence']:.0f}x "
       f"slower")
+with open(sys.argv[7]) as f:
+    recovery = json.load(f)
+s = recovery["summary"]
+print(f"Recovery at n={s['max_domain']}: warm restart "
+      f"{s['recover_seconds_at_max_domain']*1e3:.3g} ms "
+      f"({s['recover_vs_rebuild_ratio']:.2f}x a rebuild; durable publish "
+      f"{s['durability_overhead_ratio']:.2f}x volatile; "
+      f"bit_identical={recovery['bit_identical']})")
 EOF
 fi
