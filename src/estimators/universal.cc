@@ -38,6 +38,28 @@ double RoundAnswer(double answer, bool enabled) {
   return answer <= 0.0 ? 0.0 : std::round(answer);
 }
 
+/// Shared validation behind the Create factories: everything the plain
+/// constructors CHECK, as a Status. `needs_tree` adds the hierarchical
+/// strategies' branching requirement.
+Status ValidateUniversalBuild(const Histogram& data,
+                              const UniversalOptions& options, Rng* rng,
+                              bool needs_tree) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("universal estimator needs an RNG");
+  }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (data.size() < 1) {
+    return Status::InvalidArgument(
+        "universal estimator needs a non-empty domain");
+  }
+  if (needs_tree && options.branching < 2) {
+    return Status::InvalidArgument("branching must be >= 2");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 LTildeEstimator::LTildeEstimator(const Histogram& data,
@@ -54,6 +76,14 @@ LTildeEstimator::LTildeEstimator(const UniversalOptions& options,
     : round_answers_(options.round_to_nonnegative_integers),
       leaves_(std::move(leaves)) {
   prefix_ = PrefixSums(leaves_);
+}
+
+Result<std::unique_ptr<LTildeEstimator>> LTildeEstimator::Create(
+    const Histogram& data, const UniversalOptions& options, Rng* rng) {
+  Status valid = ValidateUniversalBuild(data, options, rng,
+                                        /*needs_tree=*/false);
+  if (!valid.ok()) return valid;
+  return std::make_unique<LTildeEstimator>(data, options, rng);
 }
 
 Result<std::unique_ptr<LTildeEstimator>> LTildeEstimator::Restore(
@@ -96,6 +126,14 @@ HTildeEstimator::HTildeEstimator(std::int64_t domain_size,
   DPHIST_CHECK_MSG(
       nodes_.size() == static_cast<std::size_t>(tree_.node_count()),
       "noisy node vector does not match the tree");
+}
+
+Result<std::unique_ptr<HTildeEstimator>> HTildeEstimator::Create(
+    const Histogram& data, const UniversalOptions& options, Rng* rng) {
+  Status valid = ValidateUniversalBuild(data, options, rng,
+                                        /*needs_tree=*/true);
+  if (!valid.ok()) return valid;
+  return std::make_unique<HTildeEstimator>(data, options, rng);
 }
 
 Result<std::unique_ptr<HTildeEstimator>> HTildeEstimator::Restore(
@@ -157,6 +195,14 @@ HBarEstimator::HBarEstimator(RestoreTag, std::int64_t domain_size,
       tree_(domain_size, branching),
       nodes_(std::move(final_nodes)) {
   ComputeLeafState();
+}
+
+Result<std::unique_ptr<HBarEstimator>> HBarEstimator::Create(
+    const Histogram& data, const UniversalOptions& options, Rng* rng) {
+  Status valid = ValidateUniversalBuild(data, options, rng,
+                                        /*needs_tree=*/true);
+  if (!valid.ok()) return valid;
+  return std::make_unique<HBarEstimator>(data, options, rng);
 }
 
 Result<std::unique_ptr<HBarEstimator>> HBarEstimator::Restore(

@@ -57,6 +57,12 @@ class LTildeEstimator : public RangeCountEstimator {
   LTildeEstimator(const Histogram& data, const UniversalOptions& options,
                   Rng* rng);
 
+  /// Validating construction for serving paths: invalid options or a
+  /// missing RNG become a Status instead of aborting the process. The
+  /// plain constructor keeps its CHECKs for the experiment binaries.
+  static Result<std::unique_ptr<LTildeEstimator>> Create(
+      const Histogram& data, const UniversalOptions& options, Rng* rng);
+
   /// Rebuilds the estimator from a persisted leaf vector (the
   /// SerializableState of a previous construction): the prefix table is
   /// recomputed by the same deterministic fold, so every answer is
@@ -98,6 +104,11 @@ class HTildeEstimator : public RangeCountEstimator {
  public:
   HTildeEstimator(const Histogram& data, const UniversalOptions& options,
                   Rng* rng);
+
+  /// Validating construction for serving paths (see LTilde::Create);
+  /// additionally rejects branching < 2.
+  static Result<std::unique_ptr<HTildeEstimator>> Create(
+      const Histogram& data, const UniversalOptions& options, Rng* rng);
 
   /// Builds from an existing noisy node vector (so experiments can feed
   /// H~ and H-bar the *same* draw).
@@ -164,6 +175,11 @@ class HBarEstimator : public RangeCountEstimator {
  public:
   HBarEstimator(const Histogram& data, const UniversalOptions& options,
                 Rng* rng);
+
+  /// Validating construction for serving paths (see LTilde::Create);
+  /// additionally rejects branching < 2.
+  static Result<std::unique_ptr<HBarEstimator>> Create(
+      const Histogram& data, const UniversalOptions& options, Rng* rng);
 
   /// Builds from an existing noisy node vector (so experiments can feed
   /// H~ and H-bar the *same* draw). `noisy_nodes` must match the tree of

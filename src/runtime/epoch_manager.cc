@@ -426,25 +426,39 @@ bool EpochManager::Poll() {
     return true;
   }
   ReplanOutcome outcome = ExecuteReplan(trigger);
+  std::function<void()> notify;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     RecordLocked(outcome);
     busy_ = false;
+    notify = announcement_notifier_;
+    if (notify) notifier_calls_in_flight_ += 1;
   }
   idle_cv_.notify_all();
+  if (notify) {
+    notify();
+    FinishNotifierCall();
+  }
   return true;
 }
 
 Result<ReplanOutcome> EpochManager::ReplanNow(SubscriberId reporter) {
   AcquireBusy();
   ReplanOutcome outcome = ExecuteReplan(ReplanTrigger::kManual);
+  std::function<void()> notify;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     // The caller reports this outcome directly, so its own subscription
     // is skipped; every other session still gets the announcement.
     RecordLocked(outcome, /*skip=*/reporter);
+    notify = announcement_notifier_;
+    if (notify) notifier_calls_in_flight_ += 1;
   }
   ReleaseBusy();
+  if (notify) {
+    notify();
+    FinishNotifierCall();
+  }
   if (!outcome.status.ok()) return outcome.status;
   return outcome;
 }
@@ -477,6 +491,24 @@ std::vector<ReplanOutcome> EpochManager::TakeCompleted(SubscriberId id) {
   return taken;
 }
 
+void EpochManager::SetAnnouncementNotifier(std::function<void()> notifier) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Every call site copies the notifier and bumps the in-flight count
+  // under mutex_ before invoking it unlocked, so waiting for zero here
+  // means the OLD callback is not mid-call on any thread — the caller
+  // may tear down whatever it captures the moment we return.
+  idle_cv_.wait(lock, [this] { return notifier_calls_in_flight_ == 0; });
+  announcement_notifier_ = std::move(notifier);
+}
+
+void EpochManager::FinishNotifierCall() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    notifier_calls_in_flight_ -= 1;
+  }
+  idle_cv_.notify_all();
+}
+
 EpochManager::Stats EpochManager::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
@@ -495,7 +527,15 @@ void EpochManager::WorkerLoop() {
     lock.lock();
     RecordLocked(outcome);
     busy_ = false;
+    std::function<void()> notify = announcement_notifier_;
+    if (notify) notifier_calls_in_flight_ += 1;
+    lock.unlock();
     idle_cv_.notify_all();
+    if (notify) {
+      notify();
+      FinishNotifierCall();
+    }
+    lock.lock();
   }
 }
 

@@ -38,6 +38,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -190,6 +191,20 @@ class EpochManager {
   /// another's announcements.
   std::vector<ReplanOutcome> TakeCompleted(SubscriberId id);
 
+  /// Registers a callback invoked — outside every manager lock — right
+  /// after an outcome has been broadcast to the subscriber queues. The
+  /// non-blocking transport binds this to its wakeup pipe so completed
+  /// replans become write-queue pushes: sessions parked in epoll learn
+  /// about a republish immediately instead of at their next command.
+  /// At most one notifier (last call wins); nullptr clears it. The
+  /// callback runs on whichever thread finished the replan (worker or a
+  /// sync caller) and must be cheap and must not call back into the
+  /// manager. This call BLOCKS until any in-flight invocation of the
+  /// previous notifier returns, so `SetAnnouncementNotifier(nullptr)`
+  /// is a safe unhook: afterwards the old callback's captures may be
+  /// destroyed.
+  void SetAnnouncementNotifier(std::function<void()> notifier);
+
   struct Stats {
     std::uint64_t republishes = 0;    // successful publishes incl. initial
     std::uint64_t manual = 0;         // republishes by trigger
@@ -247,6 +262,11 @@ class EpochManager {
   void AcquireBusy();
   void ReleaseBusy();
 
+  /// Decrements notifier_calls_in_flight_ and wakes a pending
+  /// SetAnnouncementNotifier; paired with the increment each call site
+  /// takes under mutex_ before invoking the notifier unlocked.
+  void FinishNotifierCall();
+
   /// Records the outcome in stats_ and broadcasts it to every
   /// subscriber queue except `skip`. Requires mutex_.
   void RecordLocked(const ReplanOutcome& outcome,
@@ -282,6 +302,13 @@ class EpochManager {
   /// kMaxQueuedPerSubscriber by dropping the oldest.
   std::map<SubscriberId, std::deque<ReplanOutcome>> subscribers_;
   SubscriberId next_subscriber_ = 1;
+  /// Copied out under mutex_ and invoked unlocked after each broadcast.
+  std::function<void()> announcement_notifier_;
+  /// Unlocked notifier calls currently executing. SetAnnouncementNotifier
+  /// waits for zero before swapping, so unhooking guarantees the old
+  /// callback is not (and will never again be) mid-call — the caller may
+  /// free whatever it touches.
+  int notifier_calls_in_flight_ = 0;
   Stats stats_;
   PrivacyAccountant accountant_;
   /// Observed-query counts anchoring the every-N and drift triggers.

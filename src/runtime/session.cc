@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
 
 namespace dphist::runtime {
 namespace {
@@ -32,90 +34,110 @@ bool LooksLikeInteger(const std::string& token) {
 SessionReader::SessionReader(std::istream& in, std::int64_t domain_size)
     : in_(in), domain_size_(domain_size) {}
 
+Result<bool> ParseSessionLine(std::string_view line_view,
+                              std::int64_t domain_size,
+                              std::int64_t line_number,
+                              SessionCommand* out) {
+  // Commas are separators everywhere, as in workload files. The copy
+  // also buys a mutable, NUL-independent buffer for istringstream.
+  std::string line(line_view);
+  for (char& c : line) {
+    if (c == ',') c = ' ';
+  }
+  const std::size_t first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return false;  // blank
+  if (line[first] == '#') return false;          // comment
+  std::istringstream fields(line);
+  std::string head;
+  fields >> head;
+
+  SessionCommand command;
+  if (head == "stats") {
+    command.verb = SessionVerb::kStats;
+    *out = std::move(command);
+    return true;
+  }
+  if (head == "replan") {
+    command.verb = SessionVerb::kReplan;
+    *out = std::move(command);
+    return true;
+  }
+  if (head == "quit") {
+    command.verb = SessionVerb::kQuit;
+    *out = std::move(command);
+    return true;
+  }
+
+  auto read_range = [&](Interval* range_out) -> Status {
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    if (!(fields >> lo) || !(fields >> hi)) {
+      return Status::InvalidArgument(LinePrefix(line_number) +
+                                     "expected \"lo hi\"");
+    }
+    if (lo > hi || lo < 0 || hi >= domain_size) {
+      return Status::OutOfRange(LinePrefix(line_number) +
+                                "range out of bounds");
+    }
+    *range_out = Interval(lo, hi);
+    return Status::Ok();
+  };
+
+  if (head == "q") {
+    command.verb = SessionVerb::kQuery;
+    command.ranges.resize(1, Interval(0, 0));
+    Status s = read_range(&command.ranges[0]);
+    if (!s.ok()) return s;
+    *out = std::move(command);
+    return true;
+  }
+  if (head == "qb") {
+    std::int64_t k = 0;
+    if (!(fields >> k) || k < 1) {
+      return Status::InvalidArgument(LinePrefix(line_number) +
+                                     "qb expects a positive batch size");
+    }
+    if (k > kMaxSessionBatch) {
+      return Status::InvalidArgument(LinePrefix(line_number) +
+                                     "qb batch size exceeds " +
+                                     std::to_string(kMaxSessionBatch));
+    }
+    command.verb = SessionVerb::kBatch;
+    command.ranges.resize(static_cast<std::size_t>(k), Interval(0, 0));
+    for (Interval& range : command.ranges) {
+      Status s = read_range(&range);
+      if (!s.ok()) return s;
+    }
+    *out = std::move(command);
+    return true;
+  }
+  if (LooksLikeInteger(head)) {
+    // Bare workload-file line: "lo hi". Re-parse from the start so the
+    // diagnostics match the explicit-verb path.
+    std::istringstream bare(line);
+    fields.swap(bare);
+    command.verb = SessionVerb::kQuery;
+    command.ranges.resize(1, Interval(0, 0));
+    Status s = read_range(&command.ranges[0]);
+    if (!s.ok()) return s;
+    *out = std::move(command);
+    return true;
+  }
+  // Matches the historical non-numeric-token diagnostic closely enough
+  // that scripts looking for "line N" keep working.
+  return Status::InvalidArgument("query line " + std::to_string(line_number) +
+                                 ": unknown command \"" + head + "\"");
+}
+
 Result<SessionCommand> SessionReader::Next() {
   std::string line;
   while (std::getline(in_, line)) {
     ++line_;
-    // Commas are separators everywhere, as in workload files.
-    for (char& c : line) {
-      if (c == ',') c = ' ';
-    }
-    const std::size_t first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos) continue;  // blank
-    if (line[first] == '#') continue;          // comment
-    std::istringstream fields(line);
-    std::string head;
-    fields >> head;
-
     SessionCommand command;
-    if (head == "stats") {
-      command.verb = SessionVerb::kStats;
-      return command;
-    }
-    if (head == "replan") {
-      command.verb = SessionVerb::kReplan;
-      return command;
-    }
-    if (head == "quit") {
-      command.verb = SessionVerb::kQuit;
-      return command;
-    }
-
-    auto read_range = [&](Interval* out) -> Status {
-      std::int64_t lo = 0;
-      std::int64_t hi = 0;
-      if (!(fields >> lo) || !(fields >> hi)) {
-        return Status::InvalidArgument(LinePrefix(line_) +
-                                       "expected \"lo hi\"");
-      }
-      if (lo > hi || lo < 0 || hi >= domain_size_) {
-        return Status::OutOfRange(LinePrefix(line_) + "range out of bounds");
-      }
-      *out = Interval(lo, hi);
-      return Status::Ok();
-    };
-
-    if (head == "q") {
-      command.verb = SessionVerb::kQuery;
-      command.ranges.resize(1, Interval(0, 0));
-      Status s = read_range(&command.ranges[0]);
-      if (!s.ok()) return s;
-      return command;
-    }
-    if (head == "qb") {
-      std::int64_t k = 0;
-      if (!(fields >> k) || k < 1) {
-        return Status::InvalidArgument(LinePrefix(line_) +
-                                       "qb expects a positive batch size");
-      }
-      if (k > kMaxBatch) {
-        return Status::InvalidArgument(LinePrefix(line_) +
-                                       "qb batch size exceeds " +
-                                       std::to_string(kMaxBatch));
-      }
-      command.verb = SessionVerb::kBatch;
-      command.ranges.resize(static_cast<std::size_t>(k), Interval(0, 0));
-      for (Interval& range : command.ranges) {
-        Status s = read_range(&range);
-        if (!s.ok()) return s;
-      }
-      return command;
-    }
-    if (LooksLikeInteger(head)) {
-      // Bare workload-file line: "lo hi". Re-parse from the start so the
-      // diagnostics match the explicit-verb path.
-      std::istringstream bare(line);
-      fields.swap(bare);
-      command.verb = SessionVerb::kQuery;
-      command.ranges.resize(1, Interval(0, 0));
-      Status s = read_range(&command.ranges[0]);
-      if (!s.ok()) return s;
-      return command;
-    }
-    // Matches the historical non-numeric-token diagnostic closely enough
-    // that scripts looking for "line N" keep working.
-    return Status::InvalidArgument("query line " + std::to_string(line_) +
-                                   ": unknown command \"" + head + "\"");
+    Result<bool> parsed = ParseSessionLine(line, domain_size_, line_, &command);
+    if (!parsed.ok()) return parsed.status();
+    if (!parsed.value()) continue;  // blank or comment
+    return command;
   }
   SessionCommand quit;
   quit.verb = SessionVerb::kQuit;

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -55,13 +56,26 @@ struct SessionCommand {
   std::vector<Interval> ranges;
 };
 
+/// Parses one already-extracted line (no trailing newline) as a session
+/// command. The non-blocking transport uses this directly: its readiness
+/// loop splits its receive buffer on '\n' and never owns an istream.
+/// Returns false when the line carries no command (blank or comment);
+/// true fills `out`. A malformed line is a Status naming `line_number`
+/// (1-based), with diagnostics byte-identical to SessionReader's.
+Result<bool> ParseSessionLine(std::string_view line,
+                              std::int64_t domain_size,
+                              std::int64_t line_number, SessionCommand* out);
+
+/// Largest `qb` batch a session line may carry; a cap, not a target — it
+/// only exists so a malformed count cannot ask the server to reserve
+/// gigabytes.
+inline constexpr std::int64_t kMaxSessionBatch = 1 << 20;
+
 /// Incremental command parser over a line stream.
 class SessionReader {
  public:
-  /// Largest k a `qb` line may carry; a cap, not a target — it only
-  /// exists so a malformed count cannot ask the server to reserve
-  /// gigabytes.
-  static constexpr std::int64_t kMaxBatch = 1 << 20;
+  /// See kMaxSessionBatch (kept as a member name for existing callers).
+  static constexpr std::int64_t kMaxBatch = kMaxSessionBatch;
 
   /// Ranges are validated against [0, domain_size).
   SessionReader(std::istream& in, std::int64_t domain_size);

@@ -9,11 +9,7 @@
 
 #include <cerrno>
 #include <cstring>
-#include <sstream>
 #include <utility>
-
-#include "runtime/session.h"
-#include "service/snapshot.h"
 
 namespace dphist::runtime {
 namespace {
@@ -112,13 +108,16 @@ SocketStream::~SocketStream() {
 
 void SocketStream::Shutdown() { ::shutdown(fd_, SHUT_RDWR); }
 
-Result<std::unique_ptr<SocketStream>> ConnectLoopback(int port) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return ErrnoStatus("socket");
+Result<std::unique_ptr<SocketStream>> ConnectTcp(const std::string& host,
+                                                 int port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
   int rc;
   do {
     rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
@@ -133,6 +132,119 @@ Result<std::unique_ptr<SocketStream>> ConnectLoopback(int port) {
   return std::make_unique<SocketStream>(fd);
 }
 
+Result<std::unique_ptr<SocketStream>> ConnectLoopback(int port) {
+  return ConnectTcp("127.0.0.1", port);
+}
+
+// ---------------------------------------------------------- BinaryClient
+
+Result<std::unique_ptr<BinaryClient>> BinaryClient::Connect(
+    const std::string& host, int port, const std::string& auth_token) {
+  Result<std::unique_ptr<SocketStream>> stream = ConnectTcp(host, port);
+  if (!stream.ok()) return stream.status();
+  std::unique_ptr<BinaryClient> client(
+      new BinaryClient(std::move(stream).value()));
+  if (!auth_token.empty()) {
+    *client->stream_ << "auth " << auth_token << "\n";
+    client->stream_->flush();
+  }
+  if (!std::getline(*client->stream_, client->banner_)) {
+    return Status::IoError("connection closed before the banner");
+  }
+  if (!client->banner_.empty() && client->banner_.back() == '\r') {
+    client->banner_.pop_back();
+  }
+  if (client->banner_.rfind("error:", 0) == 0) {
+    // The server refused the session (bad token, nothing published yet)
+    // with one text error line.
+    return Status::FailedPrecondition(client->banner_);
+  }
+  client->stream_->put(static_cast<char>(wire::kMagic));
+  client->stream_->flush();
+  Result<OwnedFrame> first = client->ReadFrame();
+  if (!first.ok()) return first.status();
+  if (first.value().type != wire::FrameType::kHello) {
+    return Status::InvalidArgument("expected a HELLO frame after the magic");
+  }
+  Status parsed = wire::ParseHello(first.value().payload, &client->hello_);
+  if (!parsed.ok()) return parsed;
+  if (client->hello_.version != wire::kProtocolVersion) {
+    return Status::InvalidArgument(
+        "server speaks protocol version " +
+        std::to_string(client->hello_.version) + ", client speaks " +
+        std::to_string(wire::kProtocolVersion));
+  }
+  return client;
+}
+
+void BinaryClient::SendQuery(std::uint64_t id, std::uint64_t expect_epoch,
+                             const Interval* ranges, std::size_t count) {
+  wire::EncodeQuery(id, expect_epoch, ranges, count, &sendbuf_);
+}
+
+void BinaryClient::SendStats(std::uint64_t id) {
+  wire::EncodeStatsRequest(id, &sendbuf_);
+}
+
+void BinaryClient::SendReplan(std::uint64_t id) {
+  wire::EncodeReplanRequest(id, &sendbuf_);
+}
+
+void BinaryClient::SendGoodbye() { wire::EncodeGoodbye(&sendbuf_); }
+
+Status BinaryClient::Flush() {
+  if (!sendbuf_.empty()) {
+    stream_->write(sendbuf_.data(),
+                   static_cast<std::streamsize>(sendbuf_.size()));
+    sendbuf_.clear();
+  }
+  stream_->flush();
+  if (!stream_->good() || stream_->write_errors() > 0) {
+    return Status::IoError("failed to flush request bytes");
+  }
+  return Status::Ok();
+}
+
+Result<BinaryClient::OwnedFrame> BinaryClient::ReadFrame() {
+  wire::Frame frame;
+  while (true) {
+    Result<std::size_t> consumed = wire::DecodeFrame(recvbuf_, &frame);
+    if (!consumed.ok()) return consumed.status();
+    if (consumed.value() > 0) {
+      OwnedFrame owned;
+      owned.type = frame.type;
+      owned.payload.assign(frame.payload);
+      recvbuf_.erase(0, consumed.value());
+      return owned;
+    }
+    // Block for at least one byte, then take whatever else the stream
+    // already buffered (pipelined replies arrive in clumps).
+    char chunk[1 << 12];
+    stream_->read(chunk, 1);
+    if (stream_->gcount() <= 0) {
+      return Status::IoError("connection closed mid-frame");
+    }
+    recvbuf_.append(chunk, 1);
+    const std::streamsize extra =
+        stream_->readsome(chunk, static_cast<std::streamsize>(sizeof(chunk)));
+    if (extra > 0) recvbuf_.append(chunk, static_cast<std::size_t>(extra));
+  }
+}
+
+Result<BinaryClient::OwnedFrame> BinaryClient::ReadReply(
+    std::vector<OwnedFrame>* pushes) {
+  while (true) {
+    Result<OwnedFrame> frame = ReadFrame();
+    if (!frame.ok()) return frame.status();
+    const wire::FrameType type = frame.value().type;
+    if (type == wire::FrameType::kPlan || type == wire::FrameType::kNote) {
+      if (pushes != nullptr) pushes->push_back(std::move(frame.value()));
+      continue;
+    }
+    return frame;
+  }
+}
+
 // ---------------------------------------------------------- SocketServer
 
 SocketServer::SocketServer(QueryService& service, EpochManager& manager,
@@ -143,18 +255,20 @@ SocketServer::~SocketServer() { Stop(); }
 
 Status SocketServer::Start() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (listen_fd_ >= 0) return Status::FailedPrecondition("already started");
+  if (started_) return Status::FailedPrecondition("already started");
   if (options_.port < 0 || options_.port > 65535) {
     return Status::InvalidArgument("port must be in [0, 65535]");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_addr.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bind_addr must be a numeric IPv4 address");
   }
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return ErrnoStatus("socket");
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
       0) {
     Status status = ErrnoStatus("bind");
@@ -174,8 +288,47 @@ Status SocketServer::Start() {
     ::close(fd);
     return status;
   }
+
+  SessionPoolOptions pool_options;
+  pool_options.workers = options_.workers;
+  pool_options.auth_token = options_.auth_token;
+  pool_options.on_session_done = [this](const SessionDone& done) {
+    {
+      std::lock_guard<std::mutex> agg_lock(mutex_);
+      stats_.completed += 1;
+      stats_.queries += done.summary.queries;
+      stats_.batches += done.summary.batches;
+      stats_.cache_hits += done.summary.cache_hits;
+      stats_.replans_announced += done.summary.replans_reported;
+      stats_.write_errors += done.write_errors;
+      if (done.peer_reset) stats_.peer_resets += 1;
+      if (done.auth_failed) {
+        stats_.auth_failures += 1;
+      } else if (done.binary) {
+        stats_.binary_sessions += 1;
+      } else {
+        stats_.text_sessions += 1;
+      }
+      if (!done.status.ok()) stats_.session_errors += 1;
+    }
+    state_cv_.notify_all();
+  };
+  pool_ = std::make_unique<SessionPool>(service_, manager_, pool_options);
+  Status pool_status = pool_->Start();
+  if (!pool_status.ok()) {
+    ::close(fd);
+    pool_.reset();
+    return pool_status;
+  }
+  // From here on, completed replans wake the pool, which pushes the
+  // announcement into every session's write buffer.
+  manager_.SetAnnouncementNotifier(
+      [pool = pool_.get()] { pool->NotifyAnnouncements(); });
+
   listen_fd_ = fd;
   port_ = static_cast<int>(ntohs(bound.sin_port));
+  started_ = true;
+  stopping_ = false;
   accept_done_ = false;
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
@@ -216,20 +369,21 @@ void SocketServer::AcceptLoop() {
       continue;
     }
     SetNoDelay(fd);
-    auto stream = std::make_shared<SocketStream>(fd);
     {
+      // Count before handing off: a session may complete before we get
+      // the lock back, and completed must never exceed accepted.
       std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_) break;  // stream dtor closes the connection
+      if (stopping_) {
+        ::close(fd);
+        break;
+      }
       stats_.accepted += 1;
-      // Prune expired entries so a long-lived server's bookkeeping
-      // stays proportional to live connections.
-      std::erase_if(active_streams_,
-                    [](const std::weak_ptr<SocketStream>& weak) {
-                      return weak.expired();
-                    });
-      active_streams_.push_back(stream);
-      session_threads_.emplace_back(
-          [this, stream] { ServeConnection(stream); });
+    }
+    if (!pool_->Adopt(fd)) {
+      // The pool is stopping; the fd is already closed.
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.accepted -= 1;
+      break;
     }
     ++accepted;
   }
@@ -241,86 +395,37 @@ void SocketServer::AcceptLoop() {
     }
     accept_done_ = true;
   }
-  accept_done_cv_.notify_all();
-}
-
-void SocketServer::ServeConnection(std::shared_ptr<SocketStream> stream) {
-  SessionWriter writer(*stream);
-  std::shared_ptr<const Snapshot> snapshot = service_.snapshot();
-  SessionSummary summary;
-  Status status = Status::Ok();
-  if (snapshot == nullptr) {
-    status = Status::FailedPrecondition(
-        "socket session needs a published snapshot");
-    writer.Error(status);
-  } else {
-    WriteServingBanner(writer, *snapshot);
-    writer.Flush();
-    // Bind the stats line's write_errors field to THIS connection's
-    // stream, so a client can ask mid-session whether any of its
-    // answers were lost to a failed flush.
-    ServingLoopOptions loop = options_.loop;
-    SocketStream* raw = stream.get();
-    loop.session_write_errors = [raw] { return raw->write_errors(); };
-    Result<SessionSummary> session =
-        RunStreamingSession(*stream, writer, service_, manager_, loop);
-    if (session.ok()) {
-      summary = session.value();
-      std::ostringstream text;
-      text << "served " << summary.queries << " queries from epoch "
-           << (summary.last_epoch != 0 ? summary.last_epoch
-                                       : service_.current_epoch());
-      writer.Comment(text.str());
-    } else {
-      status = session.status();
-      writer.Error(status);
-    }
-  }
-  writer.Flush();
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_.completed += 1;
-  stats_.queries += summary.queries;
-  stats_.write_errors += stream->write_errors();
-  if (stream->peer_reset()) stats_.peer_resets += 1;
-  if (!status.ok()) stats_.session_errors += 1;
-  // The stream (and its fd) dies with the last shared_ptr — here,
-  // unless Stop() is concurrently holding one to shut it down.
-}
-
-void SocketServer::JoinAll() {
-  // Wait for the accept loop to finish spawning sessions, then join
-  // everything exactly once (swap-out makes concurrent callers safe).
-  std::thread acceptor;
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    accept_done_cv_.wait(lock, [this] { return accept_done_; });
-    acceptor.swap(accept_thread_);
-  }
-  if (acceptor.joinable()) acceptor.join();
-  std::vector<std::thread> sessions;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    sessions.swap(session_threads_);
-  }
-  for (std::thread& session : sessions) session.join();
+  state_cv_.notify_all();
 }
 
 void SocketServer::Stop() {
-  std::vector<std::shared_ptr<SocketStream>> to_shutdown;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) return;
     stopping_ = true;
-    for (const std::weak_ptr<SocketStream>& weak : active_streams_) {
-      if (auto stream = weak.lock()) to_shutdown.push_back(stream);
-    }
   }
-  // Unblock session threads parked in a socket read; their sessions end
-  // as if the client hung up.
-  for (const auto& stream : to_shutdown) stream->Shutdown();
-  JoinAll();
+  std::thread acceptor;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    state_cv_.wait(lock, [this] { return accept_done_; });
+    acceptor.swap(accept_thread_);
+  }
+  if (acceptor.joinable()) acceptor.join();
+  // Unhook the push notifier before tearing the pool down so a replan
+  // completing mid-stop never touches joined workers.
+  manager_.SetAnnouncementNotifier(nullptr);
+  if (pool_ != nullptr) pool_->Stop();  // idempotent; fires callbacks
+  std::unique_lock<std::mutex> lock(mutex_);
+  state_cv_.wait(lock,
+                 [this] { return stats_.completed >= stats_.accepted; });
 }
 
-void SocketServer::WaitUntilStopped() { JoinAll(); }
+void SocketServer::WaitUntilStopped() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  state_cv_.wait(lock, [this] {
+    return accept_done_ && stats_.completed >= stats_.accepted;
+  });
+}
 
 SocketServer::Stats SocketServer::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);

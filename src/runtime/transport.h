@@ -1,31 +1,37 @@
 // Socket transport for the serving runtime: real network traffic into
 // the stream-agnostic session layer.
 //
-// SocketServer binds a loopback/TCP listening socket and runs one
-// accept loop; every accepted connection gets its own thread running
-// RunStreamingSession (the same grammar and executor as `serve
-// --stdin`) over an iostream wrapped around the connection's fd. All
-// connections share ONE QueryService and ONE EpochManager:
+// SocketServer binds a listening socket (loopback by default; see
+// TransportOptions::bind_addr) and runs one accept loop; accepted
+// connections are handed to a fixed-size SessionPool of worker threads
+// driving an epoll/poll readiness loop (see session_pool.h) — a
+// connection is a state machine in a worker's shard, never a dedicated
+// thread, so thousands of idle REPLs cost file descriptors, not stacks.
+// All connections share ONE QueryService and ONE EpochManager:
 //
-//   - each connection owns a private SessionWriter over its own socket
-//     stream, so per-connection transcripts can never interleave
-//     mid-line;
-//   - each session holds its own EpochManager subscription, so every
-//     client sees every completed replan announcement ("# planned ..."
-//     lines) exactly once — one client draining the completion queue
-//     cannot steal another's;
+//   - each connection owns a private write buffer and SessionWriter, so
+//     per-connection transcripts can never interleave mid-line;
+//   - each session holds its own EpochManager subscription, and
+//     completed replans are PUSHED into every session's write buffer
+//     (the manager's announcement notifier wakes the pool), so every
+//     client sees every replan announcement exactly once — without
+//     waiting for its own next command;
 //   - queries from every connection feed the same observed-traffic
 //     profile, so the every-N and drift triggers fire on the aggregate
 //     load, and a republish lands for all clients at once (each
 //     in-flight batch still finishes under the epoch it started on).
 //
-// A session opens with the same "# serving ..." banner as the stdin
-// REPL and closes with a "# served N queries ..." receipt, so a socket
-// transcript reads exactly like a local one.
+// Two protocols share the port. A session opens with the same
+// "# serving ..." banner as the stdin REPL; a client whose first
+// post-banner byte is wire::kMagic switches to the length-prefixed
+// binary frame protocol (wire_format.h — batched queries in, batched
+// answers + epoch receipts out, replan announcements as push frames),
+// anything else speaks the line-text protocol byte-for-byte unchanged
+// and closes with the "# served N queries ..." receipt.
 //
-// SocketStream / ConnectLoopback are exposed for clients (tests, the
-// socket bench, and anything else that wants to drive a server from
-// C++ without shelling out).
+// SocketStream / ConnectLoopback / ConnectTcp are exposed for text
+// clients (tests, the socket bench, bash-style scripts driven from
+// C++); BinaryClient is the frame-protocol equivalent.
 
 #ifndef DPHIST_RUNTIME_TRANSPORT_H_
 #define DPHIST_RUNTIME_TRANSPORT_H_
@@ -37,12 +43,15 @@
 #include <memory>
 #include <mutex>
 #include <streambuf>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
 #include "runtime/epoch_manager.h"
 #include "runtime/serving_loop.h"
+#include "runtime/session_pool.h"
+#include "runtime/wire_format.h"
 #include "service/query_service.h"
 
 namespace dphist::runtime {
@@ -121,22 +130,87 @@ class SocketStream : public std::iostream {
 /// (TCP_NODELAY set: the session protocol is request/response).
 Result<std::unique_ptr<SocketStream>> ConnectLoopback(int port);
 
+/// Connects to a numeric IPv4 address (no DNS — "10.0.0.7", not a
+/// hostname) on `port`.
+Result<std::unique_ptr<SocketStream>> ConnectTcp(const std::string& host,
+                                                 int port);
+
+/// Blocking binary-protocol client: reads the text banner, performs the
+/// auth handshake when a token is given, sends the negotiation magic
+/// byte, and consumes the HELLO frame. Thereafter any number of
+/// requests may be pipelined (Send* then one Read* per expected reply;
+/// the server answers in order). Not thread-safe.
+class BinaryClient {
+ public:
+  /// A frame with owned payload bytes (safe past the next read).
+  struct OwnedFrame {
+    wire::FrameType type = wire::FrameType::kNote;
+    std::string payload;
+  };
+
+  /// `host` as in ConnectTcp; empty auth_token skips the handshake.
+  static Result<std::unique_ptr<BinaryClient>> Connect(
+      const std::string& host, int port, const std::string& auth_token = "");
+
+  /// The server's negotiation ack (protocol version, domain, epoch).
+  const wire::HelloFrame& hello() const { return hello_; }
+  /// The text banner line (without the trailing newline).
+  const std::string& banner() const { return banner_; }
+
+  /// Request senders; buffered until Flush (pipelining: send many, then
+  /// flush once).
+  void SendQuery(std::uint64_t id, std::uint64_t expect_epoch,
+                 const Interval* ranges, std::size_t count);
+  void SendStats(std::uint64_t id);
+  void SendReplan(std::uint64_t id);
+  void SendGoodbye();
+  Status Flush();
+
+  /// Blocks for the next frame of any type (pushes included).
+  Result<OwnedFrame> ReadFrame();
+
+  /// Reads until a reply frame (ANSWERS / STATS_TEXT / ERROR / BYE)
+  /// arrives; push frames (PLAN / NOTE) encountered on the way are
+  /// appended to `pushes` when non-null, dropped otherwise.
+  Result<OwnedFrame> ReadReply(std::vector<OwnedFrame>* pushes = nullptr);
+
+ private:
+  explicit BinaryClient(std::unique_ptr<SocketStream> stream)
+      : stream_(std::move(stream)) {}
+
+  std::unique_ptr<SocketStream> stream_;
+  std::string banner_;
+  wire::HelloFrame hello_;
+  std::string sendbuf_;
+  std::string recvbuf_;
+};
+
 struct TransportOptions {
   /// Port to listen on; 0 asks the kernel for an ephemeral port (read
   /// the resolved one from SocketServer::port()).
   int port = 0;
+  /// Numeric IPv4 address to bind. The default stays loopback-only;
+  /// binding anything else ("0.0.0.0", a NIC address) exposes the
+  /// server off-host — pair it with auth_token.
+  std::string bind_addr = "127.0.0.1";
   /// Listen backlog.
-  int backlog = 16;
+  int backlog = 128;
   /// Accept at most this many connections, then stop accepting and let
   /// WaitUntilStopped return once they finish; 0 = accept until Stop().
   std::int64_t max_sessions = 0;
-  /// Per-session serving-loop knobs (interactive sessions answer on
-  /// their connection thread; concurrency comes from having many
-  /// connections plus the manager's replan worker).
+  /// Worker threads in the session pool.
+  int workers = 2;
+  /// Non-empty requires every connection to open with "auth <token>"
+  /// (constant-time compare) before anything is served; failed
+  /// handshakes are counted and closed.
+  std::string auth_token;
+  /// Per-session serving-loop knobs (kept for API compatibility;
+  /// pool sessions answer on their worker thread, so only fields that
+  /// make sense per-session apply).
   ServingLoopOptions loop;
 };
 
-/// Loopback/TCP listener fanning connections into streaming sessions
+/// TCP listener fanning connections into the worker-pool readiness loop
 /// over one shared QueryService + EpochManager. All public methods are
 /// thread-safe.
 class SocketServer {
@@ -152,26 +226,33 @@ class SocketServer {
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
 
-  /// Binds 127.0.0.1:port, listens, and starts the accept loop.
+  /// Binds bind_addr:port, listens, starts the worker pool and the
+  /// accept loop, and registers the announcement push notifier.
   Status Start();
 
   /// The bound port (resolves port 0); 0 before Start().
   int port() const;
 
-  /// Stops accepting, shuts down every active connection, and joins
-  /// the accept loop and all session threads. Idempotent.
+  /// Stops accepting, force-closes every active connection, and joins
+  /// the accept loop and the worker pool. Idempotent.
   void Stop();
 
   /// Blocks until the accept loop has exited (Stop() was called, or
-  /// max_sessions connections were accepted) and every session thread
-  /// has finished. Does NOT force active sessions to end.
+  /// max_sessions connections were accepted) and every accepted
+  /// connection has completed. Does NOT force active sessions to end.
   void WaitUntilStopped();
 
   struct Stats {
     std::uint64_t accepted = 0;        // connections accepted
     std::uint64_t completed = 0;       // sessions ended (incl. errors)
     std::uint64_t session_errors = 0;  // sessions that ended in error
+    std::uint64_t auth_failures = 0;   // handshakes refused and closed
     std::uint64_t queries = 0;         // ranges answered across sessions
+    std::uint64_t batches = 0;         // qb commands + QUERY frames
+    std::uint64_t cache_hits = 0;      // per-session cache hits, summed
+    std::uint64_t replans_announced = 0;  // PLAN frames + "# planned"
+    std::uint64_t text_sessions = 0;      // completed line-text sessions
+    std::uint64_t binary_sessions = 0;    // completed frame sessions
     std::uint64_t write_errors = 0;    // flushes that lost output bytes
     std::uint64_t peer_resets = 0;     // sessions ended by ECONNRESET
   };
@@ -179,28 +260,22 @@ class SocketServer {
 
  private:
   void AcceptLoop();
-  void ServeConnection(std::shared_ptr<SocketStream> stream);
-
-  /// Waits for the accept loop to exit, then joins it and every session
-  /// thread. Safe to call concurrently (each thread is joined once).
-  void JoinAll();
 
   QueryService& service_;
   EpochManager& manager_;
   const TransportOptions options_;
+  std::unique_ptr<SessionPool> pool_;
 
   mutable std::mutex mutex_;
   int listen_fd_ = -1;
   int port_ = 0;
   bool stopping_ = false;
+  bool started_ = false;
   /// True once the accept loop has exited (and before Start()), so
-  /// JoinAll never waits on a loop that was never started.
+  /// waiters never block on a loop that was never started.
   bool accept_done_ = true;
-  std::condition_variable accept_done_cv_;
+  std::condition_variable state_cv_;
   std::thread accept_thread_;
-  std::vector<std::thread> session_threads_;
-  /// Streams of live connections, so Stop() can unblock their reads.
-  std::vector<std::weak_ptr<SocketStream>> active_streams_;
   Stats stats_;
 };
 

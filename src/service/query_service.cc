@@ -118,6 +118,12 @@ Result<std::shared_ptr<const Snapshot>> QueryService::PublishFromPlan(
 
 std::uint64_t QueryService::QueryBatch(const Interval* ranges,
                                        std::size_t count, double* out) const {
+  return QueryBatch(ranges, count, out, nullptr);
+}
+
+std::uint64_t QueryService::QueryBatch(const Interval* ranges,
+                                       std::size_t count, double* out,
+                                       std::uint64_t* cache_hits) const {
   std::shared_ptr<const Snapshot> snap =
       snapshot_.load(std::memory_order_acquire);
   DPHIST_CHECK_MSG(snap != nullptr, "QueryBatch before the first Publish");
@@ -152,6 +158,14 @@ std::uint64_t QueryService::QueryBatch(const Interval* ranges,
     const std::size_t chunk = std::min(kChunk, count - base);
     bool hit[kChunk];
     cache_.LookupMany(epoch, ranges + base, chunk, out + base, hit);
+    if (cache_hits != nullptr) {
+      // Count before the admission loop below repurposes hit[] as an
+      // insert-skip mask (rejected answers are marked "hit" but were
+      // computed, not served from the cache).
+      for (std::size_t i = 0; i < chunk; ++i) {
+        if (hit[i]) ++*cache_hits;
+      }
+    }
     bool insert_any = false;
     for (std::size_t i = 0; i < chunk; ++i) {
       if (hit[i]) continue;

@@ -166,6 +166,13 @@ class QueryService {
   std::uint64_t QueryBatch(const Interval* ranges, std::size_t count,
                            double* out) const;
 
+  /// As above, additionally adding the number of this batch's answers
+  /// served from the cache to `*cache_hits` (left untouched when null).
+  /// cache_stats() is a global counter; per-session accounting needs the
+  /// per-batch figure, which only the batch itself can attribute.
+  std::uint64_t QueryBatch(const Interval* ranges, std::size_t count,
+                           double* out, std::uint64_t* cache_hits) const;
+
   /// Single-range convenience form of QueryBatch.
   std::uint64_t Query(const Interval& range, double* out) const;
 

@@ -102,6 +102,53 @@ TEST(SessionReaderTest, ValidatesBatchShape) {
             std::string::npos);
 }
 
+TEST(ParseSessionLineTest, ParsesExtractedLinesWithoutAStream) {
+  // The non-blocking transport splits its receive buffer on '\n' and
+  // feeds the bare lines here — same grammar, no istream.
+  SessionCommand command;
+  auto parsed = ParseSessionLine("q 3 9", 64, 1, &command);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value());
+  EXPECT_EQ(command.verb, SessionVerb::kQuery);
+  ASSERT_EQ(command.ranges.size(), 1u);
+  EXPECT_EQ(command.ranges[0].lo(), 3);
+  EXPECT_EQ(command.ranges[0].hi(), 9);
+
+  // Blank and comment lines carry no command but are not errors.
+  EXPECT_FALSE(ParseSessionLine("", 64, 2, &command).value());
+  EXPECT_FALSE(ParseSessionLine("   ", 64, 3, &command).value());
+  EXPECT_FALSE(ParseSessionLine("# note", 64, 4, &command).value());
+
+  // A trailing '\r' (telnet-style client) is tolerated.
+  auto crlf = ParseSessionLine("quit\r", 64, 5, &command);
+  ASSERT_TRUE(crlf.ok());
+  EXPECT_TRUE(crlf.value());
+  EXPECT_EQ(command.verb, SessionVerb::kQuit);
+}
+
+TEST(ParseSessionLineTest, DiagnosticsNameTheCallersLineNumber) {
+  // Errors must be byte-identical to SessionReader's for the same line
+  // number, so both transports report identically.
+  SessionCommand command;
+  auto direct = ParseSessionLine("7", 64, 41, &command);
+  EXPECT_FALSE(direct.ok());
+  EXPECT_NE(direct.status().message().find("query line 41"),
+            std::string::npos);
+
+  auto oob = ParseSessionLine("5 99", 64, 2, &command);
+  EXPECT_FALSE(oob.ok());
+  EXPECT_EQ(oob.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(oob.status().message().find("line 2"), std::string::npos);
+
+  std::istringstream in("frobnicate 1 2\n");
+  SessionReader reader(in, 64);
+  auto via_reader = reader.Next();
+  auto via_line = ParseSessionLine("frobnicate 1 2", 64, 1, &command);
+  ASSERT_FALSE(via_reader.ok());
+  ASSERT_FALSE(via_line.ok());
+  EXPECT_EQ(via_line.status().message(), via_reader.status().message());
+}
+
 TEST(SessionScriptTest, ReadsWholeScriptsAndStopsAtQuit) {
   std::istringstream in("0 5\nqb 2 0 0 1 1\nstats\nreplan\nquit\n8 8\n");
   auto script = ReadSessionScript(in, 64);

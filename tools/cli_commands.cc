@@ -56,12 +56,22 @@ constexpr char kUsage[] =
     "                    [--state-dir D]  (durable WAL + snapshot:\n"
     "                     restart resumes the epsilon ledger and the\n"
     "                     last published epoch bit-identically)\n"
-    "                    [--max-sessions N] [--port-file P]  (--listen)\n"
+    "                    [--max-sessions N] [--port-file P]\n"
+    "                    [--workers N] [--bind-addr A] [--auth-token T]\n"
+    "                                                  (--listen)\n"
     "                    (--stdin REPL: q lo hi | qb k lo hi ... |\n"
     "                     stats | replan | quit)\n"
     "                    (--listen 0 picks an ephemeral port; every\n"
-    "                     connection is its own REPL session over one\n"
+    "                     connection is its own session — text REPL or\n"
+    "                     binary frames — multiplexed onto a fixed pool\n"
+    "                     of --workers readiness-loop threads over one\n"
     "                     shared release lifecycle)\n"
+    "  client            --port P [--host A] [--auth-token T] [--binary]\n"
+    "                    [--queries P]  (else reads commands from stdin)\n"
+    "                    (drives one serve --listen session and prints\n"
+    "                     the transcript; --binary speaks the pipelined\n"
+    "                     frame protocol and renders the same transcript\n"
+    "                     a text session would produce)\n"
     "  plan              --queries P --epsilon E (--input P | --domain N)\n"
     "                    [--branching K] [--max-shards M]\n"
     "                    [--strategies a,b,c] [--objective mean|worst]\n"
@@ -370,6 +380,14 @@ Status RunServe(const Flags& flags, std::istream& in, std::ostream& out) {
     if (transport_options.max_sessions < 0) {
       return Status::InvalidArgument("max-sessions must be >= 0");
     }
+    transport_options.workers =
+        static_cast<int>(flags.GetInt("workers", 2));
+    if (transport_options.workers < 1) {
+      return Status::InvalidArgument("workers must be >= 1");
+    }
+    transport_options.bind_addr =
+        flags.GetString("bind-addr", "127.0.0.1");
+    transport_options.auth_token = flags.GetString("auth-token", "");
     transport_options.loop = loop_options;
 
     initial = publish_initial(nullptr);
@@ -414,6 +432,11 @@ Status RunServe(const Flags& flags, std::istream& in, std::ostream& out) {
     out << "# served " << tstats.queries << " queries over "
         << tstats.completed << " sessions (errors=" << tstats.session_errors
         << " write_errors=" << tstats.write_errors
+        << " auth_failures=" << tstats.auth_failures
+        << " text=" << tstats.text_sessions
+        << " binary=" << tstats.binary_sessions
+        << " batches=" << tstats.batches
+        << " replans_announced=" << tstats.replans_announced
         << ", cache hits=" << cache.hits << " misses=" << cache.misses
         << ")\n";
     return Status::Ok();
@@ -482,6 +505,225 @@ Status RunServe(const Flags& flags, std::istream& in, std::ostream& out) {
     writer.PlanNote(initial.value().plan, initial.value().epoch, "initial");
   }
   return Status::Ok();
+}
+
+namespace {
+
+/// Renders one server push/reply frame the way a text session transcript
+/// would, so a binary client's output projects onto a text client's.
+void RenderFrame(const runtime::BinaryClient::OwnedFrame& frame,
+                 bool batch_receipt, std::ostream& out) {
+  namespace wire = runtime::wire;
+  switch (frame.type) {
+    case wire::FrameType::kAnswers: {
+      wire::AnswersFrame answers;
+      if (!wire::ParseAnswers(frame.payload, &answers).ok()) {
+        out << "error: malformed ANSWERS frame\n";
+        return;
+      }
+      const std::streamsize old_precision = out.precision(15);
+      for (double value : answers.values) out << value << "\n";
+      out.precision(old_precision);
+      if (batch_receipt) {
+        out << "# batch n=" << answers.values.size()
+            << " epoch=" << answers.epoch << "\n";
+      }
+      return;
+    }
+    case wire::FrameType::kPlan: {
+      wire::PlanFrame plan;
+      if (!wire::ParsePlan(frame.payload, &plan).ok()) {
+        out << "error: malformed PLAN frame\n";
+        return;
+      }
+      const std::streamsize old_precision = out.precision(6);
+      out << "# planned strategy=" << plan.strategy
+          << " shards=" << plan.shards << " epoch=" << plan.epoch
+          << " reason=" << plan.reason
+          << " predicted_mean_var=" << plan.predicted_mean_var << "\n";
+      out.precision(old_precision);
+      return;
+    }
+    case wire::FrameType::kStatsText: {
+      wire::StatsTextFrame stats;
+      if (!wire::ParseStatsText(frame.payload, &stats).ok()) {
+        out << "error: malformed STATS_TEXT frame\n";
+        return;
+      }
+      out << "# " << stats.text << "\n";
+      return;
+    }
+    case wire::FrameType::kNote: {
+      std::string text;
+      if (!wire::ParseNote(frame.payload, &text).ok()) {
+        out << "error: malformed NOTE frame\n";
+        return;
+      }
+      out << "# " << text << "\n";
+      return;
+    }
+    case wire::FrameType::kError: {
+      wire::ErrorFrame error;
+      if (!wire::ParseError(frame.payload, &error).ok()) {
+        out << "error: malformed ERROR frame\n";
+        return;
+      }
+      out << "error: " << error.message << "\n";
+      return;
+    }
+    default:
+      out << "error: unexpected frame type "
+          << static_cast<int>(frame.type) << "\n";
+      return;
+  }
+}
+
+/// The frame-protocol client session: parse the whole script locally,
+/// pipeline every request in one flush, then render replies and pushes
+/// in arrival order (which matches the text transcript order — the
+/// server polls triggers after each command).
+Status RunBinaryClientSession(const std::string& host, int port,
+                              const std::string& auth_token,
+                              const std::vector<std::string>& lines,
+                              std::ostream& out) {
+  auto connected = runtime::BinaryClient::Connect(host, port, auth_token);
+  if (!connected.ok()) return connected.status();
+  std::unique_ptr<runtime::BinaryClient> client =
+      std::move(connected).value();
+  out << client->banner() << "\n";
+  const std::int64_t domain_size =
+      static_cast<std::int64_t>(client->hello().domain_size);
+
+  // id -> whether this command was a `qb` (receipt line) or a `q`.
+  std::vector<bool> batch_by_id(1, false);
+  std::uint64_t next_id = 1;
+  std::int64_t line_number = 0;
+  bool sent_goodbye = false;
+  for (const std::string& line : lines) {
+    line_number += 1;
+    runtime::SessionCommand command;
+    Result<bool> parsed = runtime::ParseSessionLine(line, domain_size,
+                                                    line_number, &command);
+    if (!parsed.ok()) {
+      // Match the text server's behavior for a malformed line: one
+      // error line, session continues.
+      out << "error: " << parsed.status().ToString() << "\n";
+      continue;
+    }
+    if (!parsed.value()) continue;  // blank or comment
+    switch (command.verb) {
+      case runtime::SessionVerb::kQuery:
+      case runtime::SessionVerb::kBatch:
+        client->SendQuery(next_id, /*expect_epoch=*/0,
+                          command.ranges.data(), command.ranges.size());
+        batch_by_id.push_back(command.verb ==
+                              runtime::SessionVerb::kBatch);
+        next_id += 1;
+        break;
+      case runtime::SessionVerb::kStats:
+        client->SendStats(next_id);
+        batch_by_id.push_back(false);
+        next_id += 1;
+        break;
+      case runtime::SessionVerb::kReplan:
+        client->SendReplan(next_id);
+        batch_by_id.push_back(false);
+        next_id += 1;
+        break;
+      case runtime::SessionVerb::kQuit:
+        client->SendGoodbye();
+        sent_goodbye = true;
+        break;
+    }
+    if (sent_goodbye) break;
+  }
+  if (!sent_goodbye) client->SendGoodbye();
+  Status flushed = client->Flush();
+  if (!flushed.ok()) return flushed;
+
+  while (true) {
+    auto frame = client->ReadFrame();
+    if (!frame.ok()) return frame.status();
+    if (frame.value().type == runtime::wire::FrameType::kBye) {
+      runtime::wire::ByeFrame bye;
+      Status parsed =
+          runtime::wire::ParseBye(frame.value().payload, &bye);
+      if (!parsed.ok()) return parsed;
+      out << "# served " << bye.queries << " queries from epoch "
+          << bye.epoch << "\n";
+      return Status::Ok();
+    }
+    bool batch_receipt = false;
+    if (frame.value().type == runtime::wire::FrameType::kAnswers) {
+      runtime::wire::AnswersFrame answers;
+      if (runtime::wire::ParseAnswers(frame.value().payload, &answers)
+              .ok() &&
+          answers.id < batch_by_id.size()) {
+        batch_receipt = batch_by_id[answers.id];
+      }
+    }
+    RenderFrame(frame.value(), batch_receipt, out);
+  }
+}
+
+/// The text-protocol client session: ship the whole script, then echo
+/// everything the server says until it closes.
+Status RunTextClientSession(const std::string& host, int port,
+                            const std::string& auth_token,
+                            const std::vector<std::string>& lines,
+                            std::ostream& out) {
+  auto connected = runtime::ConnectTcp(host, port);
+  if (!connected.ok()) return connected.status();
+  std::unique_ptr<runtime::SocketStream> stream =
+      std::move(connected).value();
+  if (!auth_token.empty()) *stream << "auth " << auth_token << "\n";
+  bool sent_quit = false;
+  for (const std::string& line : lines) {
+    *stream << line << "\n";
+    if (line == "quit") {
+      sent_quit = true;
+      break;
+    }
+  }
+  if (!sent_quit) *stream << "quit\n";
+  stream->flush();
+  if (stream->write_errors() > 0) {
+    return Status::IoError("failed to send the session script");
+  }
+  std::string reply;
+  while (std::getline(*stream, reply)) out << reply << "\n";
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status RunClient(const Flags& flags, std::istream& in, std::ostream& out) {
+  Status s = RequireFlag(flags, "port");
+  if (!s.ok()) return s;
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  if (port < 1 || port > 65535) {
+    return Status::InvalidArgument("port must be in [1, 65535]");
+  }
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const std::string auth_token = flags.GetString("auth-token", "");
+
+  std::vector<std::string> lines;
+  std::string line;
+  if (flags.Has("queries")) {
+    std::ifstream file(flags.GetString("queries", ""));
+    if (!file) {
+      return Status::IoError("cannot open query file: " +
+                             flags.GetString("queries", ""));
+    }
+    while (std::getline(file, line)) lines.push_back(line);
+  } else {
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+
+  if (flags.GetBool("binary", false)) {
+    return RunBinaryClientSession(host, port, auth_token, lines, out);
+  }
+  return RunTextClientSession(host, port, auth_token, lines, out);
 }
 
 Status RunPlan(const Flags& flags, std::ostream& out) {
@@ -591,6 +833,8 @@ int Main(int argc, const char* const* argv, std::istream& in,
     status = RunQuery(flags, out);
   } else if (command == "serve") {
     status = RunServe(flags, in, out);
+  } else if (command == "client") {
+    status = RunClient(flags, in, out);
   } else if (command == "plan") {
     status = RunPlan(flags, out);
   } else if (command == "recover") {

@@ -62,6 +62,17 @@ Status RunQuery(const Flags& flags, std::ostream& out);
 /// `# planned strategy=...` line.
 Status RunServe(const Flags& flags, std::istream& in, std::ostream& out);
 
+/// `client --port P [--host A] [--auth-token T] [--binary]
+///  [--queries PATH]`
+/// Drives one session against a `serve --listen` server and prints the
+/// transcript. Commands come from --queries or stdin (same grammar as
+/// the REPL); a missing `quit` is appended. --binary negotiates the
+/// length-prefixed frame protocol, pipelines every request in one
+/// flush, and renders replies/pushes as the text transcript lines a
+/// plain session would have produced — so the two protocols' outputs
+/// can be diffed directly.
+Status RunClient(const Flags& flags, std::istream& in, std::ostream& out);
+
 /// `plan --queries PATH --epsilon E (--input PATH | --domain N)
 ///  [--branching K] [--max-shards M] [--strategies a,b,c]
 ///  [--objective mean|worst] [--max-analyzer-width W]`
