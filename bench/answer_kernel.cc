@@ -1,0 +1,229 @@
+// Micro-benchmark of the columnar batch answer engine, emitting
+// machine-readable JSON so BENCH_answer_kernel.json can track the
+// engine's trajectory across PRs (see tools/run_bench.sh).
+//
+// One L~ release (domain 2^20, 8 shards, Section 5.2 rounding on) is
+// answered two ways over identical mixed-length batches — single
+// points, shard-interior ranges, and shard-spanning ranges, the shapes
+// a live workload mixes:
+//
+//   "walker"          the per-query virtual-dispatch path
+//                     (Snapshot::RangeCount in a loop) — the reference,
+//   "engine:<kernel>" engine::AnswerBatch against the snapshot's
+//                     flattened AnswerPlan, forced to each dispatch
+//                     level this machine supports.
+//
+// Rows record ns/query and the speedup over the walker at the same
+// batch size; each engine row also records bit_identical — whether the
+// engine's answers matched the walker's bit-for-bit over the measured
+// batch (the conformance suite property-tests this; the bench
+// re-checks it on the exact data it timed). The summary's acceptance
+// metric is the active-kernel speedup at the qb-4096 mixed batch.
+//
+// Flags: --domain-log2, --shards, --min-time-ms, --epsilon, --seed;
+// DPHIST_* env equivalents. Single-threaded by design: the engine's win
+// is per-core, and CI containers often expose one core.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "data/zipf.h"
+#include "domain/histogram.h"
+#include "domain/interval.h"
+#include "engine/answer_engine.h"
+#include "engine/answer_plan.h"
+#include "engine/kernels.h"
+#include "service/snapshot.h"
+
+using namespace dphist;  // NOLINT(build/namespaces)
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs `body` (which answers `queries_per_pass` queries) until
+/// `min_seconds` has elapsed; returns nanoseconds per query.
+template <typename Body>
+double MeasureNsPerQuery(std::int64_t queries_per_pass, double min_seconds,
+                         Body&& body) {
+  body();  // warm-up (also grows the engine's thread-local scratch)
+  std::int64_t passes = 0;
+  double start = NowSeconds();
+  double elapsed = 0.0;
+  do {
+    body();
+    ++passes;
+    elapsed = NowSeconds() - start;
+  } while (elapsed < min_seconds);
+  return elapsed * 1e9 / static_cast<double>(passes * queries_per_pass);
+}
+
+/// A mixed-length batch: one third single points, one third ranges
+/// inside one shard, one third shard-spanning ranges.
+std::vector<Interval> MixedBatch(std::int64_t n, std::int64_t shard_width,
+                                 std::size_t count, Rng* rng) {
+  std::vector<Interval> ranges;
+  ranges.reserve(count);
+  while (ranges.size() < count) {
+    const std::size_t shape = ranges.size() % 3;
+    if (shape == 0) {
+      const std::int64_t p = rng->NextInt(0, n - 1);
+      ranges.push_back(Interval(p, p));
+    } else if (shape == 1) {
+      const std::int64_t shard = rng->NextInt(0, n / shard_width - 1);
+      const std::int64_t base = shard * shard_width;
+      std::int64_t a = base + rng->NextInt(0, shard_width - 1);
+      std::int64_t b = base + rng->NextInt(0, shard_width - 1);
+      if (a > b) std::swap(a, b);
+      ranges.push_back(Interval(a, b));
+    } else {
+      std::int64_t a = rng->NextInt(0, n - 1);
+      std::int64_t b = rng->NextInt(0, n - 1);
+      if (a > b) std::swap(a, b);
+      ranges.push_back(Interval(a, b));
+    }
+  }
+  return ranges;
+}
+
+bool BitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+struct ResultRow {
+  std::size_t batch;
+  std::string path;
+  double ns_per_query;
+  double speedup_over_walker;
+  int bit_identical;  // -1 for the walker rows (it is the reference)
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const std::int64_t domain_log2 =
+      flags.GetInt("domain-log2", 20, "DPHIST_DOMAIN_LOG2");
+  const std::int64_t shards = flags.GetInt("shards", 8, "DPHIST_SHARDS");
+  const double min_time =
+      static_cast<double>(flags.GetInt("min-time-ms", 200,
+                                       "DPHIST_MIN_TIME_MS")) /
+      1000.0;
+  const double epsilon = flags.GetDouble("epsilon", 0.1, "DPHIST_EPSILON");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42, "DPHIST_SEED"));
+
+  const std::int64_t n = std::int64_t{1} << domain_log2;
+  Rng data_rng(seed);
+  Histogram data =
+      Histogram::FromCounts(ZipfCounts(n, 1.1, 5 * n, &data_rng));
+
+  SnapshotOptions options;
+  options.epsilon = epsilon;
+  options.strategy = StrategyKind::kLTilde;
+  options.shards = shards;
+  options.round_to_nonnegative_integers = true;
+  Rng build_rng(seed + 1);
+  auto built = Snapshot::Build(data, options, /*epoch=*/1, &build_rng);
+  DPHIST_CHECK_MSG(built.ok(), built.status().ToString().c_str());
+  const Snapshot& snap = *built.value();
+  const engine::AnswerPlan* plan = snap.answer_plan();
+  DPHIST_CHECK_MSG(plan != nullptr, "L~ must flatten into an AnswerPlan");
+
+  const std::vector<std::size_t> batch_sizes = {64, 512, 4096};
+  std::vector<ResultRow> rows;
+  double walker_ns_at_4096 = 0.0;
+  double active_engine_ns_at_4096 = 0.0;
+  bool all_bit_identical = true;
+
+  std::vector<engine::KernelKind> kernels;
+  for (int k = 0; k < engine::kKernelKindCount; ++k) {
+    const auto kind = static_cast<engine::KernelKind>(k);
+    if (engine::KernelSupported(kind)) kernels.push_back(kind);
+  }
+  const engine::KernelKind active = engine::BestSupportedKernel();
+
+  Rng range_rng(seed + 2);
+  for (std::size_t batch : batch_sizes) {
+    std::vector<Interval> ranges =
+        MixedBatch(n, snap.shard_width(), batch, &range_rng);
+    std::vector<double> walker_out(batch);
+    std::vector<double> engine_out(batch);
+
+    const double walker_ns =
+        MeasureNsPerQuery(static_cast<std::int64_t>(batch), min_time, [&] {
+          for (std::size_t i = 0; i < batch; ++i) {
+            walker_out[i] = snap.RangeCount(ranges[i]);
+          }
+        });
+    rows.push_back({batch, "walker", walker_ns, 1.0, -1});
+    if (batch == 4096) walker_ns_at_4096 = walker_ns;
+
+    for (engine::KernelKind kind : kernels) {
+      engine::ForceKernel(kind);
+      const double engine_ns =
+          MeasureNsPerQuery(static_cast<std::int64_t>(batch), min_time, [&] {
+            engine::AnswerBatch(*plan, ranges.data(), nullptr, batch,
+                                engine_out.data());
+          });
+      const bool identical = BitIdentical(walker_out, engine_out);
+      all_bit_identical = all_bit_identical && identical;
+      rows.push_back({batch,
+                      std::string("engine:") + engine::KernelKindName(kind),
+                      engine_ns, walker_ns / engine_ns, identical ? 1 : 0});
+      if (batch == 4096 && kind == active) active_engine_ns_at_4096 = engine_ns;
+    }
+    engine::ForceKernel(std::nullopt);
+  }
+
+  const double speedup_at_4096 =
+      active_engine_ns_at_4096 > 0.0 ? walker_ns_at_4096 /
+                                           active_engine_ns_at_4096
+                                     : 0.0;
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"answer_kernel\",\n");
+  std::printf("  \"domain_log2\": %lld,\n",
+              static_cast<long long>(domain_log2));
+  std::printf("  \"shards\": %lld,\n", static_cast<long long>(shards));
+  std::printf("  \"strategy\": \"ltilde\",\n");
+  std::printf("  \"round_answers\": true,\n");
+  std::printf("  \"active_kernel\": \"%s\",\n", engine::KernelKindName(active));
+  std::printf("  \"bit_identical\": %s,\n",
+              all_bit_identical ? "true" : "false");
+  std::printf("  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ResultRow& row = rows[i];
+    std::printf("    {\"batch\": %zu, \"path\": \"%s\", "
+                "\"ns_per_query\": %.3f, \"speedup_over_walker\": %.3f%s}%s\n",
+                row.batch, row.path.c_str(), row.ns_per_query,
+                row.speedup_over_walker,
+                row.bit_identical < 0
+                    ? ""
+                    : (row.bit_identical ? ", \"bit_identical\": true"
+                                         : ", \"bit_identical\": false"),
+                i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"summary\": {\n");
+  std::printf("    \"walker_ns_per_query_at_qb4096\": %.3f,\n",
+              walker_ns_at_4096);
+  std::printf("    \"engine_ns_per_query_at_qb4096\": %.3f,\n",
+              active_engine_ns_at_4096);
+  std::printf("    \"engine_speedup_at_qb4096\": %.3f\n", speedup_at_4096);
+  std::printf("  }\n");
+  std::printf("}\n");
+  return 0;
+}

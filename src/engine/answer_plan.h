@@ -1,0 +1,108 @@
+// Columnar answer state for the batch answer engine.
+//
+// Every strategy that answers a range as one prefix-sum difference (L~,
+// wavelet, consistent H-bar) keeps a per-shard prefix table inside its
+// estimator. The AnswerPlan flattens those tables — at publish time,
+// once per release — into ONE contiguous 64-byte-aligned buffer with a
+// side index of per-shard offsets, so a whole query batch can be
+// answered by gather/subtract kernels (engine/kernels.h) without
+// touching a single per-query abstraction: no virtual dispatch, no
+// shard pointer chase, no per-answer branch on strategy.
+//
+// Layout (shard s covering width w_s positions):
+//
+//   prefix:  [ shard 0: w_0+1 doubles | pad | shard 1: w_1+1 | pad | … ]
+//   offsets: [ 0, off_1, off_2, … ]        (side index, 64B-aligned rows)
+//
+// The answer for a range [lo, hi] inside shard s (shard-local
+// coordinates) is prefix[offsets[s] + hi + 1] - prefix[offsets[s] + lo],
+// optionally rounded to the nearest non-negative integer (Section 5.2
+// semantics — exactly when the flattened strategy rounds its final
+// answers; consistent H-bar never does, its rounding happened at node
+// level during inference).
+//
+// Strategies that walk a decomposition per answer (H~, inconsistent
+// H-bar) have no flattenable state: BuildAnswerPlan returns null and the
+// snapshot keeps the existing walker path.
+
+#ifndef DPHIST_ENGINE_ANSWER_PLAN_H_
+#define DPHIST_ENGINE_ANSWER_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "estimators/range_engine.h"
+
+namespace dphist::engine {
+
+/// A 64-byte-aligned heap array of doubles (the flattened SoA storage).
+class AlignedDoubles {
+ public:
+  AlignedDoubles() = default;
+  /// Allocates `count` doubles at 64-byte alignment (uninitialized).
+  explicit AlignedDoubles(std::size_t count);
+
+  double* data() { return data_.get(); }
+  const double* data() const { return data_.get(); }
+  std::size_t size() const { return size_; }
+
+ private:
+  struct Deleter {
+    void operator()(double* p) const;
+  };
+  std::unique_ptr<double[], Deleter> data_;
+  std::size_t size_ = 0;
+};
+
+/// The flattened per-shard prefix tables of one published release.
+/// Immutable after BuildAnswerPlan; owned by the Snapshot and shared by
+/// every concurrent reader with no synchronization.
+struct AnswerPlan {
+  std::int64_t domain_size = 0;
+  /// Positions per shard (the last shard may be narrower).
+  std::int64_t shard_width = 0;
+  std::int64_t shard_count = 0;
+  /// True when the final per-shard answer is rounded to the nearest
+  /// non-negative integer (L~/wavelet under Section 5.2 rounding).
+  bool round_answers = false;
+  /// Fast shard location, precomputed once at build time so the batch
+  /// grouping pass never pays a hardware integer division (~25 cycles —
+  /// the dominant per-query cost of the walker path it replaces):
+  /// shard_shift >= 0 when shard_width is a power of two
+  /// (shard = position >> shard_shift); otherwise shard_magic is a
+  /// 64.64 fixed-point reciprocal (shard = (position * magic) >> 64),
+  /// verified exact at every shard boundary during BuildAnswerPlan, or
+  /// 0 in the (unreachable in practice) case verification fails and the
+  /// engine falls back to plain division.
+  int shard_shift = -1;
+  std::uint64_t shard_magic = 0;
+  /// offsets[s] = index of shard s's first prefix entry inside `prefix`;
+  /// each shard's table starts on a 64-byte boundary.
+  std::vector<std::int64_t> offsets;
+  /// full_shard[s] = shard s's answer for its entire slice (rounded
+  /// exactly as a kernel lane would round it). A query spanning shards
+  /// covers every middle shard completely, so the engine folds these
+  /// precomputed answers and only runs kernel lanes for the two partial
+  /// end pieces — same bits, ~2 lanes per spanning query instead of one
+  /// per shard touched.
+  std::vector<double> full_shard;
+  /// The flattened tables: shard s occupies
+  /// prefix[offsets[s] .. offsets[s] + width_s] (width_s + 1 entries).
+  AlignedDoubles prefix;
+};
+
+/// Flattens `shard_count` estimators' prefix tables into one plan.
+/// Returns null when any shard cannot be served by prefix differences
+/// (its PrefixView is empty) or the shards disagree on rounding — the
+/// caller then keeps the decomposition-walker path. Runs at publish
+/// time; cost is one memcpy of the release's leaf state.
+std::unique_ptr<const AnswerPlan> BuildAnswerPlan(
+    const std::unique_ptr<RangeCountEstimator>* shards,
+    std::int64_t shard_count, std::int64_t domain_size,
+    std::int64_t shard_width);
+
+}  // namespace dphist::engine
+
+#endif  // DPHIST_ENGINE_ANSWER_PLAN_H_

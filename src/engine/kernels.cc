@@ -1,0 +1,216 @@
+#include "engine/kernels.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define DPHIST_KERNELS_X86 1
+#include <immintrin.h>
+#else
+#define DPHIST_KERNELS_X86 0
+#endif
+
+namespace dphist::engine {
+namespace {
+
+/// Reference rounding (the walker path's RoundAnswer): non-positive
+/// answers clamp to +0.0, positive ones round half away from zero.
+inline double RoundNonNegative(double x) {
+  return x <= 0.0 ? 0.0 : std::round(x);
+}
+
+void ScalarKernel(const double* prefix, const std::int64_t* lo_idx,
+                  const std::int64_t* hi_idx, std::size_t count, bool round,
+                  double* out) {
+  if (round) {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = RoundNonNegative(prefix[hi_idx[i]] - prefix[lo_idx[i]]);
+    }
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = prefix[hi_idx[i]] - prefix[lo_idx[i]];
+    }
+  }
+}
+
+#if DPHIST_KERNELS_X86
+
+/// 2^52: doubles at or above it are integers, and adding it to a
+/// smaller non-negative double rounds away every fractional bit.
+constexpr double kTwoPow52 = 4503599627370496.0;
+
+/// Branchless round-half-away-from-zero clamped at zero, 2-wide.
+/// Bit-identical to RoundNonNegative: for 0 < x < 2^52,
+/// floor(x) + (x - floor(x) >= 0.5) == std::round(x) exactly (the
+/// fractional part is exact by Sterbenz), x >= 2^52 is already integral
+/// and passes through, and x <= 0 (including -0.0) clamps to +0.0.
+inline __m128d RoundNonNegativeSse2(__m128d x) {
+  const __m128d big = _mm_set1_pd(kTwoPow52);
+  const __m128d one = _mm_set1_pd(1.0);
+  // Nearest-even integer of x via the 2^52 trick, corrected to floor.
+  const __m128d nearest = _mm_sub_pd(_mm_add_pd(x, big), big);
+  const __m128d floor_x =
+      _mm_sub_pd(nearest, _mm_and_pd(_mm_cmpgt_pd(nearest, x), one));
+  const __m128d frac = _mm_sub_pd(x, floor_x);
+  __m128d rounded = _mm_add_pd(
+      floor_x, _mm_and_pd(_mm_cmpge_pd(frac, _mm_set1_pd(0.5)), one));
+  // x >= 2^52: the trick's domain ends; x is already an integer.
+  const __m128d huge = _mm_cmpge_pd(x, big);
+  rounded = _mm_or_pd(_mm_and_pd(huge, x), _mm_andnot_pd(huge, rounded));
+  // x <= 0 (and -0.0): clamp to +0.0.
+  return _mm_and_pd(rounded, _mm_cmpgt_pd(x, _mm_setzero_pd()));
+}
+
+void Sse2Kernel(const double* prefix, const std::int64_t* lo_idx,
+                const std::int64_t* hi_idx, std::size_t count, bool round,
+                double* out) {
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    // SSE2 has no gather; scalar loads feed the vector lanes.
+    const __m128d lo =
+        _mm_set_pd(prefix[lo_idx[i + 1]], prefix[lo_idx[i]]);
+    const __m128d hi =
+        _mm_set_pd(prefix[hi_idx[i + 1]], prefix[hi_idx[i]]);
+    __m128d diff = _mm_sub_pd(hi, lo);
+    if (round) diff = RoundNonNegativeSse2(diff);
+    _mm_storeu_pd(out + i, diff);
+  }
+  ScalarKernel(prefix, lo_idx + i, hi_idx + i, count - i, round, out + i);
+}
+
+__attribute__((target("avx2")))
+inline __m256d RoundNonNegativeAvx2(__m256d x) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d floor_x = _mm256_floor_pd(x);
+  const __m256d frac = _mm256_sub_pd(x, floor_x);
+  __m256d rounded = _mm256_add_pd(
+      floor_x, _mm256_and_pd(
+                   _mm256_cmp_pd(frac, _mm256_set1_pd(0.5), _CMP_GE_OQ), one));
+  // True floor covers every magnitude (frac = 0 for x >= 2^52, so the
+  // huge case needs no blend); only the non-positive clamp remains.
+  return _mm256_and_pd(
+      rounded, _mm256_cmp_pd(x, _mm256_setzero_pd(), _CMP_GT_OQ));
+}
+
+__attribute__((target("avx2")))
+void Avx2Kernel(const double* prefix, const std::int64_t* lo_idx,
+                const std::int64_t* hi_idx, std::size_t count, bool round,
+                double* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256i vlo = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(lo_idx + i));
+    const __m256i vhi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(hi_idx + i));
+    const __m256d plo = _mm256_i64gather_pd(prefix, vlo, 8);
+    const __m256d phi = _mm256_i64gather_pd(prefix, vhi, 8);
+    __m256d diff = _mm256_sub_pd(phi, plo);
+    if (round) diff = RoundNonNegativeAvx2(diff);
+    _mm256_storeu_pd(out + i, diff);
+  }
+  ScalarKernel(prefix, lo_idx + i, hi_idx + i, count - i, round, out + i);
+}
+
+#endif  // DPHIST_KERNELS_X86
+
+/// -1 = no override; otherwise a KernelKind already clamped to support.
+std::atomic<int> g_forced_kernel{-1};
+
+KernelKind EnvKernel() {
+  const char* env = std::getenv("DPHIST_FORCE_KERNEL");
+  if (env != nullptr && env[0] != '\0') {
+    Result<KernelKind> parsed = ParseKernelKind(env);
+    if (parsed.ok() && KernelSupported(parsed.value())) {
+      return parsed.value();
+    }
+    // Unknown or unsupported request: serving with the best kernel beats
+    // refusing to serve at all; the stats surface reports what ran.
+  }
+  return BestSupportedKernel();
+}
+
+}  // namespace
+
+const char* KernelKindName(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScalar:
+      return "scalar";
+    case KernelKind::kSse2:
+      return "sse2";
+    case KernelKind::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Result<KernelKind> ParseKernelKind(const std::string& name) {
+  if (name == "scalar") return KernelKind::kScalar;
+  if (name == "sse2") return KernelKind::kSse2;
+  if (name == "avx2") return KernelKind::kAvx2;
+  return Status::InvalidArgument("unknown kernel: " + name +
+                                 " (want scalar, sse2, or avx2)");
+}
+
+bool KernelSupported(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScalar:
+      return true;
+    case KernelKind::kSse2:
+      return DPHIST_KERNELS_X86 != 0;  // baseline on x86-64
+    case KernelKind::kAvx2:
+#if DPHIST_KERNELS_X86
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+KernelKind BestSupportedKernel() {
+  if (KernelSupported(KernelKind::kAvx2)) return KernelKind::kAvx2;
+  if (KernelSupported(KernelKind::kSse2)) return KernelKind::kSse2;
+  return KernelKind::kScalar;
+}
+
+KernelKind ActiveKernel() {
+  const int forced = g_forced_kernel.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<KernelKind>(forced);
+  static const KernelKind from_env = EnvKernel();
+  return from_env;
+}
+
+void ForceKernel(std::optional<KernelKind> kind) {
+  if (!kind.has_value()) {
+    g_forced_kernel.store(-1, std::memory_order_relaxed);
+    return;
+  }
+  const KernelKind clamped =
+      KernelSupported(*kind) ? *kind : BestSupportedKernel();
+  g_forced_kernel.store(static_cast<int>(clamped), std::memory_order_relaxed);
+}
+
+void PrefixDiffKernel(KernelKind kind, const double* prefix,
+                      const std::int64_t* lo_idx, const std::int64_t* hi_idx,
+                      std::size_t count, bool round, double* out) {
+  switch (kind) {
+#if DPHIST_KERNELS_X86
+    case KernelKind::kAvx2:
+      Avx2Kernel(prefix, lo_idx, hi_idx, count, round, out);
+      return;
+    case KernelKind::kSse2:
+      Sse2Kernel(prefix, lo_idx, hi_idx, count, round, out);
+      return;
+#else
+    case KernelKind::kAvx2:
+    case KernelKind::kSse2:
+#endif
+    case KernelKind::kScalar:
+      ScalarKernel(prefix, lo_idx, hi_idx, count, round, out);
+      return;
+  }
+  ScalarKernel(prefix, lo_idx, hi_idx, count, round, out);
+}
+
+}  // namespace dphist::engine

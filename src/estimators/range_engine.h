@@ -15,6 +15,20 @@
 
 namespace dphist {
 
+/// Zero-copy view of an estimator whose every range answer is one
+/// prefix-sum difference: answer([lo, hi]) = prefix[hi + 1] - prefix[lo],
+/// rounded to the nearest non-negative integer iff `round_final_answer`.
+/// An empty view (null prefix) means the estimator answers by a
+/// decomposition walk instead and cannot be flattened into the batch
+/// answer engine's columnar plan (engine/answer_plan.h).
+struct PrefixAnswerView {
+  /// `size + 1` entries; prefix[0] == 0. Valid while the estimator lives.
+  const double* prefix = nullptr;
+  /// Leaf count (the estimator's domain size).
+  std::int64_t size = 0;
+  bool round_final_answer = false;
+};
+
 /// Anything that can answer c([x, y]) from a privately derived state.
 class RangeCountEstimator {
  public:
@@ -45,6 +59,13 @@ class RangeCountEstimator {
     (void)range;
     return std::numeric_limits<double>::infinity();
   }
+
+  /// The prefix-difference answer state, when this estimator has one
+  /// (L~, wavelet, consistent H-bar); empty otherwise. The batch answer
+  /// engine flattens non-empty views into its columnar AnswerPlan at
+  /// publish time and serves them through SIMD kernels — the view's
+  /// semantics must therefore match RangeCount bit for bit.
+  virtual PrefixAnswerView PrefixView() const { return {}; }
 
   /// Short name for reports ("L~", "H~", "H-bar", ...).
   virtual std::string Name() const = 0;

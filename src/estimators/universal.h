@@ -81,6 +81,13 @@ class LTildeEstimator : public RangeCountEstimator {
     return 1.0;
   }
 
+  /// L~ is always prefix-served; the final answer is rounded exactly
+  /// when Section 5.2 rounding is on.
+  PrefixAnswerView PrefixView() const override {
+    return {prefix_.data(), static_cast<std::int64_t>(leaves_.size()),
+            round_answers_};
+  }
+
   /// Raw noisy per-position answers (rounding happens per range answer).
   const std::vector<double>& leaf_estimates() const { return leaves_; }
 
@@ -217,6 +224,15 @@ class HBarEstimator : public RangeCountEstimator {
   double RangeCostHint(const Interval& range) const override {
     (void)range;
     return consistent_ ? 1.0 : static_cast<double>(tree_.height());
+  }
+
+  /// Only the consistent fast path is a raw prefix difference; the
+  /// final answer is never rounded (rounding was applied to the node
+  /// estimates during inference). Inconsistent trees must keep the
+  /// decomposition walk, so they expose no view.
+  PrefixAnswerView PrefixView() const override {
+    if (!consistent_) return {};
+    return {prefix_.data(), domain_size_, /*round_final_answer=*/false};
   }
 
   const TreeLayout& tree() const { return tree_; }

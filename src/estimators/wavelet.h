@@ -87,6 +87,12 @@ class WaveletEstimator : public RangeCountEstimator {
     return 1.0;
   }
 
+  /// Prefix-served over the reconstructed leaves, rounding the final
+  /// answer exactly when Section 5.2 rounding is on.
+  PrefixAnswerView PrefixView() const override {
+    return {prefix_.data(), domain_size_, round_answers_};
+  }
+
   /// Reconstructed per-position estimates (raw; domain-sized).
   const std::vector<double>& leaf_estimates() const { return leaves_; }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "engine/answer_engine.h"
 
 namespace dphist::runtime {
 namespace {
@@ -69,8 +70,13 @@ void SessionExecutor::NoteAnswerEpoch(std::uint64_t epoch) {
   }
 }
 
-void SessionExecutor::AnswerRun(const Interval* ranges, std::size_t count,
-                                std::int64_t threads) {
+Status SessionExecutor::AnswerRun(const Interval* ranges, std::size_t count,
+                                  std::int64_t threads) {
+  // One validation up front covers every slice: the domain never changes
+  // across epochs, so a swap mid-run cannot invalidate a range the
+  // current snapshot accepts.
+  Status valid = service_.ValidateBatch(ranges, count);
+  if (!valid.ok()) return valid;
   answers_.resize(count);
   std::uint64_t hits = 0;
   summary_.last_epoch =
@@ -79,15 +85,17 @@ void SessionExecutor::AnswerRun(const Interval* ranges, std::size_t count,
   NoteAnswerEpoch(summary_.last_epoch);
   writer_.Answers(answers_.data(), count);
   summary_.queries += count;
+  return Status::Ok();
 }
 
-std::uint64_t SessionExecutor::AnswerBatch(const Interval* ranges,
-                                           std::size_t count,
-                                           std::vector<double>* answers) {
+Result<std::uint64_t> SessionExecutor::AnswerBatch(
+    const Interval* ranges, std::size_t count, std::vector<double>* answers) {
   answers->resize(count);
   std::uint64_t hits = 0;
-  const std::uint64_t epoch =
-      service_.QueryBatch(ranges, count, answers->data(), &hits);
+  Result<std::uint64_t> answered =
+      service_.TryQueryBatch(ranges, count, answers->data(), &hits);
+  if (!answered.ok()) return answered.status();
+  const std::uint64_t epoch = answered.value();
   summary_.commands += 1;
   summary_.queries += count;
   summary_.batches += 1;
@@ -102,14 +110,15 @@ Status SessionExecutor::Execute(const SessionCommand& command,
   summary_.commands += 1;
   switch (command.verb) {
     case SessionVerb::kQuery:
-      AnswerRun(command.ranges.data(), command.ranges.size(), 1);
-      return Status::Ok();
+      return AnswerRun(command.ranges.data(), command.ranges.size(), 1);
     case SessionVerb::kBatch: {
       answers_.resize(command.ranges.size());
       std::uint64_t hits = 0;
-      const std::uint64_t epoch =
-          service_.QueryBatch(command.ranges.data(), command.ranges.size(),
-                              answers_.data(), &hits);
+      Result<std::uint64_t> answered =
+          service_.TryQueryBatch(command.ranges.data(), command.ranges.size(),
+                                 answers_.data(), &hits);
+      if (!answered.ok()) return answered.status();
+      const std::uint64_t epoch = answered.value();
       summary_.last_epoch = epoch;
       summary_.queries += command.ranges.size();
       summary_.batches += 1;
@@ -217,7 +226,15 @@ std::string SessionExecutor::StatsText() {
        << " epsilon_spent=" << lifecycle.epsilon_spent
        << " cache_hits=" << cache.hits << " cache_misses=" << cache.misses
        << " admission_rejects=" << cache.admission_rejects
-       << " cache_size=" << service_.cache_size()
+       << " cache_size=" << service_.cache_size();
+  // Batch answer engine: which kernel level is live and how much traffic
+  // it has absorbed (totals across levels differ only when a force
+  // override changed mid-run).
+  const engine::EngineCounters engine_counters =
+      engine::GlobalEngineCounters();
+  text << " engine_kernel=" << engine::KernelKindName(engine::ActiveKernel())
+       << " engine_batches=" << engine_counters.total_batches()
+       << " engine_queries=" << engine_counters.total_queries()
        // Per-session tail: this session's own traffic, for multi-tenant
        // debugging (the fields above are server-global).
        << " session_queries=" << summary_.queries
@@ -303,7 +320,9 @@ Result<SessionSummary> RunScriptedSession(
         executor.summary().commands += 1;
         ++j;
       }
-      executor.AnswerRun(run.data(), run.size(), options.threads);
+      Status status = executor.AnswerRun(run.data(), run.size(),
+                                         options.threads);
+      if (!status.ok()) return status;
       i = j;
     } else if (verb == SessionVerb::kQuit) {
       break;

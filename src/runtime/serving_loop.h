@@ -93,9 +93,12 @@ class SessionExecutor {
   const char* protocol() const { return protocol_; }
 
   /// Answers a contiguous run of ranges (a coalesced script segment or a
-  /// single command's ranges) and prints the answer lines.
-  void AnswerRun(const Interval* ranges, std::size_t count,
-                 std::int64_t threads);
+  /// single command's ranges) and prints the answer lines. An
+  /// out-of-domain range (or answering before the first publish) is a
+  /// Status — reported as a session error line, never an abort — and
+  /// prints no answers.
+  Status AnswerRun(const Interval* ranges, std::size_t count,
+                   std::int64_t threads);
 
   /// Executes one control or query command interactively. Returns a
   /// non-OK status only for errors (the caller decides whether they are
@@ -110,9 +113,11 @@ class SessionExecutor {
 
   /// Answers `count` ranges as one single-epoch batch into `answers`
   /// (resized to `count`), updating every per-session counter exactly as
-  /// a `qb` command would. Returns the batch's epoch.
-  std::uint64_t AnswerBatch(const Interval* ranges, std::size_t count,
-                            std::vector<double>* answers);
+  /// a `qb` command would. Returns the batch's epoch, or a Status for an
+  /// out-of-domain range / missing publish (the transport encodes it as
+  /// an error frame; counters are untouched on failure).
+  Result<std::uint64_t> AnswerBatch(const Interval* ranges, std::size_t count,
+                                    std::vector<double>* answers);
 
   /// The body of the `stats` reply (no leading "# ").
   std::string StatsText();

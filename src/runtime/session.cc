@@ -1,5 +1,6 @@
 #include "runtime/session.h"
 
+#include <charconv>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -156,10 +157,26 @@ Result<std::vector<SessionCommand>> ReadSessionScript(
   }
 }
 
+void AppendAnswerLine(double value, std::string* out) {
+  // std::to_chars(general, 15) is specified as printf "%.15g" in the "C"
+  // locale — the exact bytes the former ostream path (defaultfloat,
+  // precision 15) produced, without the per-value num_put/locale
+  // machinery that dominated text-protocol profiles.
+  char buffer[32];
+  const std::to_chars_result result = std::to_chars(
+      buffer, buffer + sizeof(buffer), value, std::chars_format::general, 15);
+  out->append(buffer, result.ptr);
+  out->push_back('\n');
+}
+
 void SessionWriter::Answers(const double* values, std::size_t count) {
-  const std::streamsize old_precision = out_.precision(15);
-  for (std::size_t i = 0; i < count; ++i) out_ << values[i] << "\n";
-  out_.precision(old_precision);
+  // One reusable buffer, one stream write for the whole batch.
+  buffer_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    AppendAnswerLine(values[i], &buffer_);
+  }
+  out_.write(buffer_.data(),
+             static_cast<std::streamsize>(buffer_.size()));
 }
 
 void SessionWriter::BatchReceipt(std::size_t count, std::uint64_t epoch) {

@@ -101,6 +101,13 @@ class SessionReader {
 Result<std::vector<SessionCommand>> ReadSessionScript(
     std::istream& in, std::int64_t domain_size);
 
+/// Appends one answer line ("%.15g" + '\n') to `out` via std::to_chars
+/// — byte-identical to the ostream formatting the transcripts have
+/// always used, minus the per-value locale machinery. Shared by
+/// SessionWriter and the binary client's ANSWERS rendering so both
+/// transcripts stay identical.
+void AppendAnswerLine(double value, std::string* out);
+
 /// Formats session output: answer lines at full precision plus the
 /// "# ..." report lines both serving modes share.
 class SessionWriter {
@@ -108,7 +115,9 @@ class SessionWriter {
   explicit SessionWriter(std::ostream& out) : out_(out) {}
 
   /// One answer per line, 15 significant digits (round-trips every
-  /// integral count a double holds exactly).
+  /// integral count a double holds exactly). Formatted with
+  /// std::to_chars into one reusable buffer (see AppendAnswerLine) and
+  /// written with a single stream write per batch.
   void Answers(const double* values, std::size_t count);
 
   /// "# batch n=K epoch=E" — the single-epoch receipt after a `qb`.
@@ -131,6 +140,8 @@ class SessionWriter {
 
  private:
   std::ostream& out_;
+  /// Reused across Answers calls; steady-state batches allocate nothing.
+  std::string buffer_;
 };
 
 }  // namespace dphist::runtime

@@ -539,8 +539,16 @@ class ConnDriver {
                             &c.outbuf);
           return true;
         }
-        const std::uint64_t epoch = c.executor->AnswerBatch(
+        Result<std::uint64_t> answered = c.executor->AnswerBatch(
             query.ranges.data(), query.ranges.size(), &answers_);
+        if (!answered.ok()) {
+          // Request-scoped (a range the wire validation missed, or no
+          // snapshot yet): the session survives, like the text path.
+          wire::EncodeError(query.id, wire::WireError::kBadRequest,
+                            answered.status().ToString(), &c.outbuf);
+          return true;
+        }
+        const std::uint64_t epoch = answered.value();
         if (query.expect_epoch != 0 && epoch != query.expect_epoch) {
           // A swap landed between the check above and the batch's
           // snapshot load; honor the demand rather than the answers.

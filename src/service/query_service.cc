@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "engine/answer_engine.h"
 
 namespace dphist {
 
@@ -127,6 +128,38 @@ std::uint64_t QueryService::QueryBatch(const Interval* ranges,
   std::shared_ptr<const Snapshot> snap =
       snapshot_.load(std::memory_order_acquire);
   DPHIST_CHECK_MSG(snap != nullptr, "QueryBatch before the first Publish");
+  return QueryBatchOn(*snap, ranges, count, out, cache_hits);
+}
+
+Result<std::uint64_t> QueryService::TryQueryBatch(
+    const Interval* ranges, std::size_t count, double* out,
+    std::uint64_t* cache_hits) const {
+  std::shared_ptr<const Snapshot> snap =
+      snapshot_.load(std::memory_order_acquire);
+  if (snap == nullptr) {
+    return Status::FailedPrecondition(
+        "no published snapshot yet — queries need a Publish first");
+  }
+  Status valid = snap->ValidateRanges(ranges, count);
+  if (!valid.ok()) return valid;
+  return QueryBatchOn(*snap, ranges, count, out, cache_hits);
+}
+
+Status QueryService::ValidateBatch(const Interval* ranges,
+                                   std::size_t count) const {
+  std::shared_ptr<const Snapshot> snap =
+      snapshot_.load(std::memory_order_acquire);
+  if (snap == nullptr) {
+    return Status::FailedPrecondition(
+        "no published snapshot yet — queries need a Publish first");
+  }
+  return snap->ValidateRanges(ranges, count);
+}
+
+std::uint64_t QueryService::QueryBatchOn(const Snapshot& snap,
+                                         const Interval* ranges,
+                                         std::size_t count, double* out,
+                                         std::uint64_t* cache_hits) const {
   // Feed the observed-workload histogram the planner consumes: one
   // relaxed increment per query, on this thread's counter stripe — no
   // locks, no heap, and no hot cache line shared across readers.
@@ -147,11 +180,19 @@ std::uint64_t QueryService::QueryBatch(const Interval* ranges,
     std::lock_guard<std::mutex> lock(res.mutex);
     for (std::size_t i = 0; i < count; ++i) res.reservoir.Observe(ranges[i]);
   }
+  const engine::AnswerPlan* plan = snap.answer_plan();
   if (!cache_.enabled()) {
-    snap->RangeCountsInto(ranges, count, out);
-    return snap->epoch();
+    // Whole-batch fast path: prefix-served releases run through the
+    // columnar engine (one kernel sweep, zero allocations); walker
+    // strategies keep the estimator batch loop.
+    if (plan != nullptr) {
+      engine::AnswerBatch(*plan, ranges, /*sel=*/nullptr, count, out);
+    } else {
+      snap.RangeCountsInto(ranges, count, out);
+    }
+    return snap.epoch();
   }
-  const std::uint64_t epoch = snap->epoch();
+  const std::uint64_t epoch = snap.epoch();
   constexpr std::size_t kChunk = 64;
   std::uint64_t admission_rejects = 0;
   for (std::size_t base = 0; base < count; base += kChunk) {
@@ -166,14 +207,30 @@ std::uint64_t QueryService::QueryBatch(const Interval* ranges,
         if (hit[i]) ++*cache_hits;
       }
     }
+    if (plan != nullptr) {
+      // Engine path: answer this chunk's misses as ONE selected batch
+      // (the engine scatter-gathers through `sel`), then run admission.
+      std::int32_t miss[kChunk];
+      double miss_out[kChunk];
+      std::size_t misses = 0;
+      for (std::size_t i = 0; i < chunk; ++i) {
+        if (!hit[i]) miss[misses++] = static_cast<std::int32_t>(i);
+      }
+      engine::AnswerBatch(*plan, ranges + base, miss, misses, miss_out);
+      for (std::size_t m = 0; m < misses; ++m) {
+        out[base + static_cast<std::size_t>(miss[m])] = miss_out[m];
+      }
+    }
     bool insert_any = false;
     for (std::size_t i = 0; i < chunk; ++i) {
       if (hit[i]) continue;
-      out[base + i] = snap->RangeCount(ranges[base + i]);
+      if (plan == nullptr) {
+        out[base + i] = snap.RangeCount(ranges[base + i]);
+      }
       // Admission policy: answers as cheap to recompute as a cache hit
       // never enter the cache — marking them "hit" makes InsertMany
       // skip them, preserving capacity for expensive ranges.
-      if (snap->AdmitToCache(ranges[base + i])) {
+      if (snap.AdmitToCache(ranges[base + i])) {
         insert_any = true;
       } else {
         hit[i] = true;

@@ -173,6 +173,19 @@ class QueryService {
   std::uint64_t QueryBatch(const Interval* ranges, std::size_t count,
                            double* out, std::uint64_t* cache_hits) const;
 
+  /// Validating form for the serving transports: answering before the
+  /// first Publish or asking for a range outside the snapshot's domain
+  /// returns a Status (surfaced as a session "error:" line) where
+  /// QueryBatch would CHECK-abort the server. On success behaves exactly
+  /// like QueryBatch and returns the batch's epoch.
+  Result<std::uint64_t> TryQueryBatch(const Interval* ranges,
+                                      std::size_t count, double* out,
+                                      std::uint64_t* cache_hits) const;
+
+  /// The validation half of TryQueryBatch alone — for callers that
+  /// pre-validate a run once and then fan slices out through QueryBatch.
+  Status ValidateBatch(const Interval* ranges, std::size_t count) const;
+
   /// Single-range convenience form of QueryBatch.
   std::uint64_t Query(const Interval& range, double* out) const;
 
@@ -205,6 +218,14 @@ class QueryService {
   SwapStats swap_stats() const;
 
  private:
+  /// The answering core shared by QueryBatch and TryQueryBatch, running
+  /// against an already-loaded (and validated) snapshot. Cache-miss runs
+  /// route through the batch answer engine when the snapshot carries an
+  /// AnswerPlan; walker strategies keep the per-query path.
+  std::uint64_t QueryBatchOn(const Snapshot& snap, const Interval* ranges,
+                             std::size_t count, double* out,
+                             std::uint64_t* cache_hits) const;
+
   /// floor(log2(length)) buckets; 63 covers any int64 length.
   static constexpr std::size_t kLengthBuckets = 63;
   /// Counter stripes, selected by thread id once per batch, so reader

@@ -20,9 +20,13 @@ Histogram SliceHistogram(const Histogram& data, std::int64_t lo,
   return Histogram(std::move(slice), data.domain().attribute());
 }
 
-std::unique_ptr<RangeCountEstimator> BuildShard(const Histogram& shard_data,
-                                                const SnapshotOptions& options,
-                                                Rng* rng) {
+/// Serving-path shard construction: every failure (including a
+/// StrategyKind no case handles, which older revisions CHECK-aborted
+/// on) is a Status the session layer can surface as an error line. The
+/// validating Create factories re-check the per-shard inputs, so a
+/// corrupted slice can never abort a live server.
+Result<std::unique_ptr<RangeCountEstimator>> BuildShard(
+    const Histogram& shard_data, const SnapshotOptions& options, Rng* rng) {
   UniversalOptions universal;
   universal.epsilon = options.epsilon;
   universal.branching = options.branching;
@@ -30,24 +34,38 @@ std::unique_ptr<RangeCountEstimator> BuildShard(const Histogram& shard_data,
       options.round_to_nonnegative_integers;
   universal.prune_nonpositive_subtrees = options.prune_nonpositive_subtrees;
   switch (options.strategy) {
-    case StrategyKind::kLTilde:
-      return std::make_unique<LTildeEstimator>(shard_data, universal, rng);
-    case StrategyKind::kHTilde:
-      return std::make_unique<HTildeEstimator>(shard_data, universal, rng);
-    case StrategyKind::kHBar:
-      return std::make_unique<HBarEstimator>(shard_data, universal, rng);
+    case StrategyKind::kLTilde: {
+      Result<std::unique_ptr<LTildeEstimator>> built =
+          LTildeEstimator::Create(shard_data, universal, rng);
+      if (!built.ok()) return built.status();
+      return std::unique_ptr<RangeCountEstimator>(std::move(built).value());
+    }
+    case StrategyKind::kHTilde: {
+      Result<std::unique_ptr<HTildeEstimator>> built =
+          HTildeEstimator::Create(shard_data, universal, rng);
+      if (!built.ok()) return built.status();
+      return std::unique_ptr<RangeCountEstimator>(std::move(built).value());
+    }
+    case StrategyKind::kHBar: {
+      Result<std::unique_ptr<HBarEstimator>> built =
+          HBarEstimator::Create(shard_data, universal, rng);
+      if (!built.ok()) return built.status();
+      return std::unique_ptr<RangeCountEstimator>(std::move(built).value());
+    }
     case StrategyKind::kWavelet: {
       WaveletOptions wavelet;
       wavelet.epsilon = options.epsilon;
       wavelet.round_to_nonnegative_integers =
           options.round_to_nonnegative_integers;
-      return std::make_unique<WaveletEstimator>(shard_data, wavelet, rng);
+      Result<std::unique_ptr<WaveletEstimator>> built =
+          WaveletEstimator::Create(shard_data, wavelet, rng);
+      if (!built.ok()) return built.status();
+      return std::unique_ptr<RangeCountEstimator>(std::move(built).value());
     }
     case StrategyKind::kAuto:
       break;  // rejected in Build before any shard is constructed
   }
-  DPHIST_CHECK_MSG(false, "unreachable: unknown StrategyKind");
-  return nullptr;
+  return Status::Internal("cannot build a shard for an unknown strategy");
 }
 
 }  // namespace
@@ -110,14 +128,23 @@ Result<std::shared_ptr<const Snapshot>> Snapshot::Build(
 
   std::vector<std::unique_ptr<RangeCountEstimator>> shards(
       static_cast<std::size_t>(count));
+  std::vector<Status> shard_status(static_cast<std::size_t>(count));
   ParallelFor(count, ResolveThreadCount(options.build_threads),
               [&](std::int64_t i) {
                 const std::int64_t lo = i * width;
                 const std::int64_t hi = std::min(n - 1, lo + width - 1);
-                shards[static_cast<std::size_t>(i)] =
+                Result<std::unique_ptr<RangeCountEstimator>> built =
                     BuildShard(SliceHistogram(data, lo, hi), options,
                                &shard_rngs[static_cast<std::size_t>(i)]);
+                if (!built.ok()) {
+                  shard_status[static_cast<std::size_t>(i)] = built.status();
+                  return;
+                }
+                shards[static_cast<std::size_t>(i)] = std::move(built).value();
               });
+  for (const Status& status : shard_status) {
+    if (!status.ok()) return status;
+  }
   return std::shared_ptr<const Snapshot>(
       new Snapshot(options, epoch, n, width, std::move(shards)));
 }
@@ -234,6 +261,21 @@ const RangeCountEstimator& Snapshot::shard(std::int64_t index) const {
   DPHIST_CHECK_MSG(index >= 0 && index < shard_count(),
                    "shard index out of range");
   return *shards_[static_cast<std::size_t>(index)];
+}
+
+Status Snapshot::ValidateRanges(const Interval* ranges,
+                                std::size_t count) const {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (ranges[i].lo() < 0 || ranges[i].hi() >= domain_size_) {
+      return Status(StatusCode::kOutOfRange,
+                    "range [" + std::to_string(ranges[i].lo()) + ", " +
+                        std::to_string(ranges[i].hi()) +
+                        "] (query " + std::to_string(i + 1) +
+                        ") is outside the snapshot's domain [0, " +
+                        std::to_string(domain_size_ - 1) + "]");
+    }
+  }
+  return Status::Ok();
 }
 
 double Snapshot::RangeCount(const Interval& range) const {

@@ -30,6 +30,7 @@
 #include "common/status.h"
 #include "domain/histogram.h"
 #include "domain/interval.h"
+#include "engine/answer_plan.h"
 #include "estimators/range_engine.h"
 
 namespace dphist {
@@ -127,6 +128,19 @@ class Snapshot {
   /// The shard estimators, in domain order.
   const RangeCountEstimator& shard(std::int64_t index) const;
 
+  /// The flattened columnar answer state for the batch answer engine
+  /// (engine/answer_engine.h), built once at publish/restore time. Null
+  /// when any shard answers by decomposition walk (H~, inconsistent
+  /// H-bar) — those releases keep the walker path below, which is also
+  /// the bit-identity reference the engine is tested against.
+  const engine::AnswerPlan* answer_plan() const { return answer_plan_.get(); }
+
+  /// Serving-path validation: Ok iff every range lies inside
+  /// [0, domain_size). A violation is an OutOfRange naming the first bad
+  /// range — surfaced as a session "error:" line by the transports,
+  /// where the walker/engine paths would CHECK-abort.
+  Status ValidateRanges(const Interval* ranges, std::size_t count) const;
+
   /// Cache admission policy: false when `range` is so cheap to recompute
   /// from this release that memoizing it wastes LRU capacity. A range
   /// spanning several shards is always admitted (its recomputation sums
@@ -158,13 +172,16 @@ class Snapshot {
         epoch_(epoch),
         domain_size_(domain_size),
         shard_width_(shard_width),
-        shards_(std::move(shards)) {}
+        shards_(std::move(shards)),
+        answer_plan_(engine::BuildAnswerPlan(shards_.data(), shard_count(),
+                                             domain_size_, shard_width_)) {}
 
   SnapshotOptions options_;
   std::uint64_t epoch_;
   std::int64_t domain_size_;
   std::int64_t shard_width_;
   std::vector<std::unique_ptr<RangeCountEstimator>> shards_;
+  std::unique_ptr<const engine::AnswerPlan> answer_plan_;
 };
 
 }  // namespace dphist

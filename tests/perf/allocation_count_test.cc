@@ -206,6 +206,32 @@ TEST(ServiceAllocationTest, CachedQueryBatchStopsAllocatingOnceWarm) {
   EXPECT_GT(service.cache_stats().hits, 0u);
 }
 
+TEST(ServiceAllocationTest, EngineBatchesAreAllocationFreeOnceWarm) {
+  // The columnar answer engine's scratch lives in thread-local arenas
+  // that grow to the high-water batch size: after one warm-up batch —
+  // which includes shard-spanning queries, the shape that exercises the
+  // piece-expansion scratch — steady-state batches through the plan
+  // allocate nothing.
+  Rng data_rng(3);
+  Histogram data = Histogram::FromCounts(
+      ZipfCounts(1 << 12, 1.2, 4 << 12, &data_rng));
+  QueryService service;  // cache_capacity = 0: every batch runs the engine
+  SnapshotOptions options;
+  options.strategy = StrategyKind::kLTilde;
+  options.shards = 8;
+  ASSERT_TRUE(service.Publish(data, options, 9).ok());
+  ASSERT_NE(service.snapshot()->answer_plan(), nullptr);
+
+  // FixedWorkload draws ranges of width domain/3 — far wider than a
+  // shard (width 512), so the batch is dominated by spanning queries.
+  std::vector<Interval> workload = FixedWorkload(1 << 12);
+  std::vector<double> answers(workload.size());
+  std::size_t allocs = AllocationsDuring([&] {
+    service.QueryBatch(workload.data(), workload.size(), answers.data());
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
 TEST_F(EstimatorAllocationTest, LegacyDecomposeRangeStillAllocates) {
   // Sanity check that the counter actually observes the old path's
   // allocation — otherwise the zero readings above would prove nothing.

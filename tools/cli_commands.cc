@@ -16,6 +16,8 @@
 #include "data/search_logs.h"
 #include "data/social_network.h"
 #include "domain/histogram.h"
+#include "engine/answer_engine.h"
+#include "engine/kernels.h"
 #include "estimators/unattributed.h"
 #include "estimators/universal.h"
 #include "mechanism/privacy_accountant.h"
@@ -46,6 +48,7 @@ constexpr char kUsage[] =
     "                    [--strategy hbar|htilde|ltilde|wavelet|auto]\n"
     "                    [--branching K] [--shards S] [--cache N]\n"
     "                    [--threads T] [--build-threads B] [--seed S]\n"
+    "                    [--kernel auto|scalar|sse2|avx2]\n"
     "                    [--no-round] [--no-prune] [--max-shards M]\n"
     "                    [--strategies a,b,c] [--objective mean|worst]\n"
     "                    [--dense-oracle [--max-analyzer-width W]]\n"
@@ -345,6 +348,20 @@ Status RunServe(const Flags& flags, std::istream& in, std::ostream& out) {
   loop_options.threads =
       ResolveThreadCount(flags.GetInt("threads", 1, "DPHIST_THREADS"));
 
+  // --kernel pins the answer engine's dispatch level (the flag form of
+  // the DPHIST_FORCE_KERNEL env override; "auto" restores detection).
+  // Levels the CPU lacks clamp to the best supported one.
+  if (flags.Has("kernel")) {
+    const std::string kernel_name = flags.GetString("kernel", "auto");
+    if (kernel_name == "auto") {
+      engine::ForceKernel(std::nullopt);
+    } else {
+      Result<engine::KernelKind> kind = engine::ParseKernelKind(kernel_name);
+      if (!kind.ok()) return kind.status();
+      engine::ForceKernel(kind.value());
+    }
+  }
+
   // With a state directory, recovery runs first: a restored snapshot is
   // re-served as-is (no fresh epsilon spent), and only a fresh/empty
   // directory falls through to a first publish — which the replayed
@@ -437,6 +454,10 @@ Status RunServe(const Flags& flags, std::istream& in, std::ostream& out) {
         << " binary=" << tstats.binary_sessions
         << " batches=" << tstats.batches
         << " replans_announced=" << tstats.replans_announced
+        << " engine_kernel="
+        << engine::KernelKindName(engine::ActiveKernel())
+        << " engine_batches=" << engine::GlobalEngineCounters().total_batches()
+        << " engine_queries=" << engine::GlobalEngineCounters().total_queries()
         << ", cache hits=" << cache.hits << " misses=" << cache.misses
         << ")\n";
     return Status::Ok();
@@ -499,6 +520,9 @@ Status RunServe(const Flags& flags, std::istream& in, std::ostream& out) {
       << report_epoch << " (" << StrategyKindName(current->strategy())
       << ", eps=" << options.epsilon << ", shards="
       << current->shard_count() << ", threads=" << loop_options.threads
+      << ", engine_kernel=" << engine::KernelKindName(engine::ActiveKernel())
+      << " engine_batches=" << engine::GlobalEngineCounters().total_batches()
+      << " engine_queries=" << engine::GlobalEngineCounters().total_queries()
       << ", cache hits=" << stats.hits << " misses=" << stats.misses
       << ")\n";
   if (!streaming && initial.value().planned) {
@@ -521,9 +545,11 @@ void RenderFrame(const runtime::BinaryClient::OwnedFrame& frame,
         out << "error: malformed ANSWERS frame\n";
         return;
       }
-      const std::streamsize old_precision = out.precision(15);
-      for (double value : answers.values) out << value << "\n";
-      out.precision(old_precision);
+      std::string lines;
+      for (double value : answers.values) {
+        runtime::AppendAnswerLine(value, &lines);
+      }
+      out << lines;
       if (batch_receipt) {
         out << "# batch n=" << answers.values.size()
             << " epoch=" << answers.epoch << "\n";

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Builds the benchmark suite in Release mode, runs
-# bench_micro_range_query, bench_service_throughput,
-# bench_snapshot_build, bench_streaming_serve, bench_socket_serve,
-# bench_plan_sweep, and bench_recovery_restart, and writes
-# BENCH_range_query.json, BENCH_service.json, BENCH_snapshot_build.json,
-# BENCH_streaming.json, BENCH_socket.json, BENCH_plan.json, and
-# BENCH_recovery.json at the repo root so the query-path, serving-layer,
+# bench_micro_range_query, bench_answer_kernel,
+# bench_service_throughput, bench_snapshot_build, bench_streaming_serve,
+# bench_socket_serve, bench_plan_sweep, and bench_recovery_restart, and
+# writes BENCH_range_query.json, BENCH_answer_kernel.json,
+# BENCH_service.json, BENCH_snapshot_build.json, BENCH_streaming.json,
+# BENCH_socket.json, BENCH_plan.json, and BENCH_recovery.json at the
+# repo root so the query-path, SIMD answer-engine, serving-layer,
 # publish-latency, online-replan, network-transport, planner, and
 # crash-recovery performance trajectories are tracked from PR to PR.
 #
@@ -22,13 +23,17 @@ BUILD_DIR="${REPO_ROOT}/build-release"
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release \
   -DDPHIST_BUILD_BENCH=ON >/dev/null
 cmake --build "${BUILD_DIR}" \
-  --target bench_micro_range_query bench_service_throughput \
+  --target bench_micro_range_query bench_answer_kernel \
+  bench_service_throughput \
   bench_snapshot_build bench_streaming_serve bench_socket_serve \
   bench_plan_sweep bench_recovery_restart \
   -j >/dev/null
 
 OUT="${REPO_ROOT}/BENCH_range_query.json"
 "${BUILD_DIR}/bench_micro_range_query" "$@" > "${OUT}"
+
+KERNEL_OUT="${REPO_ROOT}/BENCH_answer_kernel.json"
+"${BUILD_DIR}/bench_answer_kernel" > "${KERNEL_OUT}"
 
 SERVICE_OUT="${REPO_ROOT}/BENCH_service.json"
 "${BUILD_DIR}/bench_service_throughput" > "${SERVICE_OUT}"
@@ -49,6 +54,7 @@ RECOVERY_OUT="${REPO_ROOT}/BENCH_recovery.json"
 "${BUILD_DIR}/bench_recovery_restart" > "${RECOVERY_OUT}"
 
 echo "wrote ${OUT}"
+echo "wrote ${KERNEL_OUT}"
 echo "wrote ${SERVICE_OUT}"
 echo "wrote ${SNAPSHOT_OUT}"
 echo "wrote ${STREAMING_OUT}"
@@ -56,13 +62,20 @@ echo "wrote ${SOCKET_OUT}"
 echo "wrote ${PLAN_OUT}"
 echo "wrote ${RECOVERY_OUT}"
 if command -v python3 >/dev/null 2>&1; then
-  python3 - "$OUT" "$SERVICE_OUT" "$SNAPSHOT_OUT" "$STREAMING_OUT" "$SOCKET_OUT" "$PLAN_OUT" "$RECOVERY_OUT" <<'EOF'
+  python3 - "$OUT" "$SERVICE_OUT" "$SNAPSHOT_OUT" "$STREAMING_OUT" "$SOCKET_OUT" "$PLAN_OUT" "$RECOVERY_OUT" "$KERNEL_OUT" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     data = json.load(f)
 s = data["summary"]
 print(f"H-bar prefix path at max domain: {s['hbar_prefix_qps_at_max_domain']:.3g} q/s "
       f"({s['hbar_prefix_speedup_at_max_domain']:.1f}x over decomposition)")
+with open(sys.argv[8]) as f:
+    kernel = json.load(f)
+s = kernel["summary"]
+print(f"Answer engine ({kernel['active_kernel']}) at qb-4096: "
+      f"{s['engine_ns_per_query_at_qb4096']:.3g} ns/query "
+      f"({s['engine_speedup_at_qb4096']:.1f}x over per-query walker; "
+      f"bit_identical={kernel['bit_identical']})")
 with open(sys.argv[2]) as f:
     service = json.load(f)
 s = service["summary"]
