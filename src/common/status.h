@@ -48,7 +48,12 @@ inline const char* StatusCodeName(StatusCode code) {
 }
 
 /// Outcome of an operation: OK or an error code with a message.
-class Status {
+///
+/// [[nodiscard]] on the class makes silently dropping a returned Status
+/// a compile error everywhere (gcc/clang -Werror=unused-result in CI):
+/// a fallible call either checks .ok() or is visibly, deliberately
+/// discarded at the call site.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -106,9 +111,10 @@ class Status {
   std::string message_;
 };
 
-/// Either a value of type T or an error Status.
+/// Either a value of type T or an error Status. [[nodiscard]] for the
+/// same reason as Status: ignoring a Result loses the error with it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`.
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)

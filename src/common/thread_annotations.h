@@ -1,0 +1,96 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These wrap the Clang `-Wthread-safety` capability attributes so that
+// locking invariants — which member a mutex guards, which functions
+// acquire or require it — live in the type system instead of comments.
+// Under Clang the annotations are enforced at compile time (CI builds
+// the tree with `-Werror=thread-safety`); under every other compiler
+// they expand to nothing, so gcc builds are unaffected.
+//
+// The raw std::mutex carries no capability attributes in libstdc++, so
+// annotated code must guard members with dphist::Mutex (common/mutex.h),
+// the annotated wrapper these macros were written for.
+//
+// Quick reference (see docs/ThreadSafetyAnalysis in the Clang manual):
+//
+//   DPHIST_GUARDED_BY(mu)    data member readable/writable only with mu
+//   DPHIST_PT_GUARDED_BY(mu) pointee guarded by mu (pointer itself free)
+//   DPHIST_REQUIRES(mu)      caller must hold mu across the call
+//   DPHIST_ACQUIRE(mu)       function acquires mu and returns holding it
+//   DPHIST_RELEASE(mu)       function releases a held mu
+//   DPHIST_TRY_ACQUIRE(b,mu) acquires mu iff the function returns b
+//   DPHIST_EXCLUDES(mu)      caller must NOT hold mu (deadlock guard)
+//   DPHIST_ASSERT_CAPABILITY(mu)
+//                            runtime-asserted escape: tells the analysis
+//                            mu is held from here on. Every use must
+//                            carry a comment proving why the access is
+//                            safe (e.g. release/acquire publication).
+//   DPHIST_CAPABILITY(name)  class declares a capability (a lock type)
+//   DPHIST_SCOPED_CAPABILITY RAII type that acquires in its constructor
+//
+// Policy: DPHIST_NO_THREAD_SAFETY_ANALYSIS exists for completeness but
+// is banned on serving-path functions (enforced by dphist_lint); use a
+// documented DPHIST_ASSERT_CAPABILITY escape instead so the exemption is
+// scoped to one access pattern, not a whole function body.
+
+#ifndef DPHIST_COMMON_THREAD_ANNOTATIONS_H_
+#define DPHIST_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define DPHIST_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DPHIST_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+#define DPHIST_CAPABILITY(x) DPHIST_THREAD_ANNOTATION_(capability(x))
+
+#define DPHIST_SCOPED_CAPABILITY DPHIST_THREAD_ANNOTATION_(scoped_lockable)
+
+#define DPHIST_GUARDED_BY(x) DPHIST_THREAD_ANNOTATION_(guarded_by(x))
+
+#define DPHIST_PT_GUARDED_BY(x) DPHIST_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define DPHIST_ACQUIRED_BEFORE(...) \
+  DPHIST_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+#define DPHIST_ACQUIRED_AFTER(...) \
+  DPHIST_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define DPHIST_REQUIRES(...) \
+  DPHIST_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+#define DPHIST_REQUIRES_SHARED(...) \
+  DPHIST_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define DPHIST_ACQUIRE(...) \
+  DPHIST_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define DPHIST_ACQUIRE_SHARED(...) \
+  DPHIST_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+#define DPHIST_RELEASE(...) \
+  DPHIST_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define DPHIST_RELEASE_SHARED(...) \
+  DPHIST_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+#define DPHIST_TRY_ACQUIRE(...) \
+  DPHIST_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define DPHIST_TRY_ACQUIRE_SHARED(...) \
+  DPHIST_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+#define DPHIST_EXCLUDES(...) DPHIST_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define DPHIST_ASSERT_CAPABILITY(x) \
+  DPHIST_THREAD_ANNOTATION_(assert_capability(x))
+
+#define DPHIST_ASSERT_SHARED_CAPABILITY(x) \
+  DPHIST_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+#define DPHIST_RETURN_CAPABILITY(x) DPHIST_THREAD_ANNOTATION_(lock_returned(x))
+
+#define DPHIST_NO_THREAD_SAFETY_ANALYSIS \
+  DPHIST_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // DPHIST_COMMON_THREAD_ANNOTATIONS_H_

@@ -32,7 +32,7 @@ Histogram::Histogram(const Histogram& other) : domain_(other.domain_) {
   // Copying from a const& is a const access, so it must be safe against
   // a concurrent EnsurePrefix rebuild in `other`: take its mutex while
   // reading the prefix state.
-  std::lock_guard<std::mutex> lock(other.prefix_mutex_);
+  MutexLock lock(other.prefix_mutex_);
   counts_ = other.counts_;
   prefix_ = other.prefix_;
   prefix_valid_.store(other.prefix_valid_.load(std::memory_order_acquire),
@@ -48,8 +48,13 @@ Histogram::Histogram(Histogram&& other) noexcept
 Histogram& Histogram::operator=(const Histogram& other) {
   if (this == &other) return *this;
   domain_ = other.domain_;
+  // Mutating *this concurrently with any other access is undefined (as
+  // for any container), so this thread is the sole accessor of our own
+  // prefix state — assert our capability rather than locking, which
+  // keeps the lock order single-mutex (no A=B vs B=A deadlock).
+  prefix_mutex_.AssertHeld();
   {
-    std::lock_guard<std::mutex> lock(other.prefix_mutex_);
+    MutexLock lock(other.prefix_mutex_);
     counts_ = other.counts_;
     prefix_ = other.prefix_;
     prefix_valid_.store(other.prefix_valid_.load(std::memory_order_acquire),
@@ -62,6 +67,10 @@ Histogram& Histogram::operator=(Histogram&& other) noexcept {
   if (this == &other) return *this;
   domain_ = std::move(other.domain_);
   counts_ = std::move(other.counts_);
+  // Same single-accessor argument as copy-assignment, on both sides: a
+  // moved-from object must not be touched concurrently either.
+  prefix_mutex_.AssertHeld();
+  other.prefix_mutex_.AssertHeld();
   prefix_ = std::move(other.prefix_);
   prefix_valid_.store(other.prefix_valid_.load(std::memory_order_acquire),
                       std::memory_order_release);
@@ -97,7 +106,7 @@ void Histogram::EnsurePrefix() const {
   if (prefix_valid_.load(std::memory_order_acquire)) return;
   // Only reachable after a mutation; double-checked so concurrent first
   // reads after a (single-threaded) mutation phase rebuild exactly once.
-  std::lock_guard<std::mutex> lock(prefix_mutex_);
+  MutexLock lock(prefix_mutex_);
   if (prefix_valid_.load(std::memory_order_relaxed)) return;
   BuildPrefix();
 }
@@ -106,6 +115,14 @@ double Histogram::Count(const Interval& range) const {
   DPHIST_CHECK_MSG(domain_.ContainsInterval(range),
                    "range query outside the domain");
   EnsurePrefix();
+  // Documented lock-free read: EnsurePrefix returned only after
+  // observing prefix_valid_ == true with acquire order, which pairs
+  // with BuildPrefix's release store *after* filling prefix_ — so the
+  // table this thread sees is complete, and it stays immutable until a
+  // mutation (undefined to run concurrently with reads, per the class
+  // contract) clears the flag. Taking prefix_mutex_ here would
+  // serialize every reader on the query hot path for no added safety.
+  prefix_mutex_.AssertHeld();
   return prefix_[static_cast<std::size_t>(range.hi()) + 1] -
          prefix_[static_cast<std::size_t>(range.lo())];
 }

@@ -12,9 +12,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "domain/domain.h"
 #include "domain/interval.h"
 
@@ -89,13 +90,16 @@ class Histogram {
 
  private:
   void EnsurePrefix() const;
-  void BuildPrefix() const;
+  void BuildPrefix() const DPHIST_REQUIRES(prefix_mutex_);
 
   Domain domain_;
   std::vector<double> counts_;
-  mutable std::vector<double> prefix_;  // prefix_[i] = sum of counts[0..i)
+  // prefix_[i] = sum of counts[0..i). Written only under prefix_mutex_;
+  // readers on the query path go through the prefix_valid_ release/
+  // acquire publication instead of the mutex (see Count()).
+  mutable std::vector<double> prefix_ DPHIST_GUARDED_BY(prefix_mutex_);
   mutable std::atomic<bool> prefix_valid_{false};
-  mutable std::mutex prefix_mutex_;
+  mutable Mutex prefix_mutex_;
 };
 
 }  // namespace dphist

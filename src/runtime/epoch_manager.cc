@@ -46,10 +46,10 @@ EpochManager::EpochManager(QueryService* service, Histogram data,
 
 EpochManager::~EpochManager() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   if (worker_.joinable()) worker_.join();
 }
 
@@ -59,22 +59,24 @@ std::uint64_t EpochManager::NextSeedLocked() {
 }
 
 void EpochManager::AcquireBusy() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return !busy_ && !request_pending_; });
+  MutexLock lock(mutex_);
+  while (busy_ || request_pending_) idle_cv_.Wait(mutex_);
   busy_ = true;
+  busy_cap_.Acquire();
 }
 
 void EpochManager::ReleaseBusy() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     busy_ = false;
+    busy_cap_.Release();
   }
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
 }
 
 void EpochManager::RollbackCharge(bool logged, std::uint64_t wal_offset) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Can only fail on an empty ledger, and we charged moments ago under
     // the busy token nobody else holds — a true programming error.
     Status rolled = accountant_.RollbackLast();
@@ -100,7 +102,7 @@ Result<std::shared_ptr<const Snapshot>> EpochManager::ChargeAndPublish(
   // fast-forward it by the replayed ledger's length.
   std::uint64_t seed = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!accountant_.CanSpend(options.epsilon)) {
       stats_.budget_refusals += 1;
       return Status::FailedPrecondition(
@@ -207,7 +209,7 @@ Result<ReplanOutcome> EpochManager::PublishInitial(
   outcome.snapshot = published.value();
   outcome.epoch = outcome.snapshot->epoch();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stats_.republishes += 1;
     SnapshotCostCacheStatsLocked();
     count_at_last_publish_ = service_->observed_query_count();
@@ -233,7 +235,7 @@ Result<ReplanOutcome> EpochManager::Recover() {
   ReplanOutcome outcome;
   outcome.trigger = ReplanTrigger::kRecover;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const std::size_t entries = state.ledger.size();
     Status imported = accountant_.ImportLedger(std::move(state.ledger));
     if (!imported.ok()) {
@@ -268,7 +270,7 @@ Result<ReplanOutcome> EpochManager::Recover() {
   recovered_profile_ = std::move(state.profile);
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stats_.recoveries += 1;
     if (outcome.republished) stats_.republishes += 1;
     count_at_last_publish_ = service_->observed_query_count();
@@ -395,46 +397,58 @@ void EpochManager::RecordLocked(const ReplanOutcome& outcome,
   }
 }
 
-bool EpochManager::Poll() {
-  ReplanTrigger trigger;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (busy_ || request_pending_ || stop_) return false;
-    const std::uint64_t count = service_->observed_query_count();
-    if (options_.replan_every > 0 &&
-        count - count_at_last_publish_ >=
-            static_cast<std::uint64_t>(options_.replan_every)) {
-      trigger = ReplanTrigger::kEveryN;
-    } else if (options_.drift_ratio > 0.0 &&
-               count - count_at_last_drift_check_ >=
-                   static_cast<std::uint64_t>(
-                       std::max<std::int64_t>(1,
-                                              options_.drift_check_every))) {
-      trigger = ReplanTrigger::kDrift;
-    } else {
-      return false;
-    }
-    if (options_.async) {
-      request_pending_ = true;
-      request_trigger_ = trigger;
-    } else {
-      busy_ = true;
-    }
-  }
-  if (options_.async) {
-    work_cv_.notify_one();
+bool EpochManager::PollTriggerLocked(ReplanTrigger* trigger) {
+  if (busy_ || request_pending_ || stop_) return false;
+  const std::uint64_t count = service_->observed_query_count();
+  if (options_.replan_every > 0 &&
+      count - count_at_last_publish_ >=
+          static_cast<std::uint64_t>(options_.replan_every)) {
+    *trigger = ReplanTrigger::kEveryN;
     return true;
   }
+  if (options_.drift_ratio > 0.0 &&
+      count - count_at_last_drift_check_ >=
+          static_cast<std::uint64_t>(
+              std::max<std::int64_t>(1, options_.drift_check_every))) {
+    *trigger = ReplanTrigger::kDrift;
+    return true;
+  }
+  return false;
+}
+
+bool EpochManager::TryStartSyncReplan(ReplanTrigger* trigger) {
+  MutexLock lock(mutex_);
+  if (!PollTriggerLocked(trigger)) return false;
+  busy_ = true;
+  busy_cap_.Acquire();
+  return true;
+}
+
+bool EpochManager::Poll() {
+  if (options_.async) {
+    ReplanTrigger trigger;
+    {
+      MutexLock lock(mutex_);
+      if (!PollTriggerLocked(&trigger)) return false;
+      request_pending_ = true;
+      request_trigger_ = trigger;
+    }
+    work_cv_.NotifyOne();
+    return true;
+  }
+  ReplanTrigger trigger;
+  if (!TryStartSyncReplan(&trigger)) return false;
   ReplanOutcome outcome = ExecuteReplan(trigger);
   std::function<void()> notify;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     RecordLocked(outcome);
     busy_ = false;
+    busy_cap_.Release();
     notify = announcement_notifier_;
     if (notify) notifier_calls_in_flight_ += 1;
   }
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
   if (notify) {
     notify();
     FinishNotifierCall();
@@ -447,14 +461,16 @@ Result<ReplanOutcome> EpochManager::ReplanNow(SubscriberId reporter) {
   ReplanOutcome outcome = ExecuteReplan(ReplanTrigger::kManual);
   std::function<void()> notify;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // The caller reports this outcome directly, so its own subscription
     // is skipped; every other session still gets the announcement.
     RecordLocked(outcome, /*skip=*/reporter);
+    busy_ = false;
+    busy_cap_.Release();
     notify = announcement_notifier_;
     if (notify) notifier_calls_in_flight_ += 1;
   }
-  ReleaseBusy();
+  idle_cv_.NotifyAll();
   if (notify) {
     notify();
     FinishNotifierCall();
@@ -464,24 +480,24 @@ Result<ReplanOutcome> EpochManager::ReplanNow(SubscriberId reporter) {
 }
 
 void EpochManager::Drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return !busy_ && !request_pending_; });
+  MutexLock lock(mutex_);
+  while (busy_ || request_pending_) idle_cv_.Wait(mutex_);
 }
 
 EpochManager::SubscriberId EpochManager::Subscribe() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const SubscriberId id = next_subscriber_++;
   subscribers_[id];  // creates the empty queue
   return id;
 }
 
 void EpochManager::Unsubscribe(SubscriberId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   subscribers_.erase(id);
 }
 
 std::vector<ReplanOutcome> EpochManager::TakeCompleted(SubscriberId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = subscribers_.find(id);
   if (it == subscribers_.end()) return {};
   std::vector<ReplanOutcome> taken(
@@ -492,51 +508,54 @@ std::vector<ReplanOutcome> EpochManager::TakeCompleted(SubscriberId id) {
 }
 
 void EpochManager::SetAnnouncementNotifier(std::function<void()> notifier) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Every call site copies the notifier and bumps the in-flight count
   // under mutex_ before invoking it unlocked, so waiting for zero here
   // means the OLD callback is not mid-call on any thread — the caller
   // may tear down whatever it captures the moment we return.
-  idle_cv_.wait(lock, [this] { return notifier_calls_in_flight_ == 0; });
+  while (notifier_calls_in_flight_ != 0) idle_cv_.Wait(mutex_);
   announcement_notifier_ = std::move(notifier);
 }
 
 void EpochManager::FinishNotifierCall() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     notifier_calls_in_flight_ -= 1;
   }
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
 }
 
 EpochManager::Stats EpochManager::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 void EpochManager::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.Lock();
   while (true) {
-    work_cv_.wait(lock, [this] { return stop_ || request_pending_; });
-    if (stop_) return;
+    while (!stop_ && !request_pending_) work_cv_.Wait(mutex_);
+    if (stop_) break;
     const ReplanTrigger trigger = request_trigger_;
     request_pending_ = false;
     busy_ = true;
-    lock.unlock();
+    busy_cap_.Acquire();
+    mutex_.Unlock();
     ReplanOutcome outcome = ExecuteReplan(trigger);
-    lock.lock();
+    mutex_.Lock();
     RecordLocked(outcome);
     busy_ = false;
+    busy_cap_.Release();
     std::function<void()> notify = announcement_notifier_;
     if (notify) notifier_calls_in_flight_ += 1;
-    lock.unlock();
-    idle_cv_.notify_all();
+    mutex_.Unlock();
+    idle_cv_.NotifyAll();
     if (notify) {
       notify();
       FinishNotifierCall();
     }
-    lock.lock();
+    mutex_.Lock();
   }
+  mutex_.Unlock();
 }
 
 }  // namespace dphist::runtime

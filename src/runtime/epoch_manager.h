@@ -35,19 +35,19 @@
 #ifndef DPHIST_RUNTIME_EPOCH_MANAGER_H_
 #define DPHIST_RUNTIME_EPOCH_MANAGER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "domain/histogram.h"
 #include "mechanism/privacy_accountant.h"
@@ -235,9 +235,10 @@ class EpochManager {
 
  private:
   /// The full replan: export profile, ChoosePlan, drift gate, budget
-  /// gate, publish. Runs with `busy_` held (never concurrently with
-  /// itself); takes mutex_ only for short state reads/writes.
-  ReplanOutcome ExecuteReplan(ReplanTrigger trigger);
+  /// gate, publish. Runs with the busy token held (never concurrently
+  /// with itself); takes mutex_ only for short state reads/writes.
+  ReplanOutcome ExecuteReplan(ReplanTrigger trigger)
+      DPHIST_REQUIRES(busy_cap_);
 
   /// The spend-before-publish core shared by PublishInitial and
   /// ExecuteReplan (busy token held, mutex_ not). In order: budget gate
@@ -249,75 +250,105 @@ class EpochManager {
   /// back both the ledger entry and the WAL records.
   Result<std::shared_ptr<const Snapshot>> ChargeAndPublish(
       const SnapshotOptions& options, const std::string& purpose,
-      const planner::WorkloadProfile* profile);
+      const planner::WorkloadProfile* profile)
+      DPHIST_REQUIRES(busy_cap_) DPHIST_EXCLUDES(mutex_);
 
   /// Undoes an in-memory charge (and, when `logged`, its WAL record)
-  /// after the publish it paid for failed. Requires the busy token.
-  void RollbackCharge(bool logged, std::uint64_t wal_offset);
+  /// after the publish it paid for failed.
+  void RollbackCharge(bool logged, std::uint64_t wal_offset)
+      DPHIST_REQUIRES(busy_cap_) DPHIST_EXCLUDES(mutex_);
 
   /// Blocks until the busy token is free (no replan queued or running)
   /// and takes it / releases it. Every path that spends epsilon holds
   /// the token across its CanSpend check and the Spend, so the gate can
-  /// never be invalidated by a concurrent publish.
-  void AcquireBusy();
-  void ReleaseBusy();
+  /// never be invalidated by a concurrent publish. The phantom
+  /// busy_cap_ mirrors the busy_ flag so the analysis proves every
+  /// acquire is paired with a release on every path.
+  void AcquireBusy() DPHIST_ACQUIRE(busy_cap_) DPHIST_EXCLUDES(mutex_);
+  void ReleaseBusy() DPHIST_RELEASE(busy_cap_) DPHIST_EXCLUDES(mutex_);
+
+  /// Evaluates the every-N and drift triggers against the service's
+  /// observed counters; false when nothing is due or a replan is
+  /// already queued/running/stopping.
+  bool PollTriggerLocked(ReplanTrigger* trigger) DPHIST_REQUIRES(mutex_);
+
+  /// Sync-mode Poll: evaluates the triggers and takes the busy token in
+  /// ONE critical section (decision and take must be atomic, or two
+  /// concurrent pollers could both fire). True = token taken.
+  bool TryStartSyncReplan(ReplanTrigger* trigger)
+      DPHIST_TRY_ACQUIRE(true, busy_cap_) DPHIST_EXCLUDES(mutex_);
 
   /// Decrements notifier_calls_in_flight_ and wakes a pending
   /// SetAnnouncementNotifier; paired with the increment each call site
   /// takes under mutex_ before invoking the notifier unlocked.
-  void FinishNotifierCall();
+  void FinishNotifierCall() DPHIST_EXCLUDES(mutex_);
 
   /// Records the outcome in stats_ and broadcasts it to every
-  /// subscriber queue except `skip`. Requires mutex_.
+  /// subscriber queue except `skip`. Needs the busy token too: it
+  /// snapshots the cost cache, which only the token holder may touch.
   void RecordLocked(const ReplanOutcome& outcome,
-                    SubscriberId skip = kNoSubscriber);
+                    SubscriberId skip = kNoSubscriber)
+      DPHIST_REQUIRES(mutex_, busy_cap_);
 
-  /// Copies cost_cache_.stats() into stats_. Requires mutex_ and must be
-  /// called by the busy-token holder (the only cache mutator).
-  void SnapshotCostCacheStatsLocked();
+  /// Copies cost_cache_.stats() into stats_. Must be called by the
+  /// busy-token holder (the only cache mutator).
+  void SnapshotCostCacheStatsLocked() DPHIST_REQUIRES(mutex_, busy_cap_);
 
-  /// Next publish seed from the deterministic stream. Requires mutex_.
-  std::uint64_t NextSeedLocked();
+  /// Next publish seed from the deterministic stream.
+  std::uint64_t NextSeedLocked() DPHIST_REQUIRES(mutex_);
 
   void WorkerLoop();
 
   QueryService* service_;
   const Histogram data_;
   const EpochManagerOptions options_;
-  /// Long-lived incremental cost cache shared by every plan and drift
-  /// evaluation this manager runs. Mutated only while the busy token is
-  /// held (PublishInitial / ExecuteReplan), which serializes access; its
-  /// counters are snapshotted into stats_ under mutex_.
-  planner::IncrementalCostModel cost_cache_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;  // wakes the worker
-  std::condition_variable idle_cv_;  // wakes Drain/ReplanNow waiters
-  bool stop_ = false;
-  bool request_pending_ = false;
-  ReplanTrigger request_trigger_ = ReplanTrigger::kManual;
-  bool busy_ = false;  // a replan is executing (worker or sync caller)
+  /// The busy token as an analysis capability: "at most one replan in
+  /// flight" is enforced at runtime by busy_ under mutex_; this phantom
+  /// lets spend/publish functions require the token so the compiler
+  /// checks that every acquire path releases it (the historical bug
+  /// class here was an early return that left busy_ stuck).
+  PhantomCapability busy_cap_;
+
+  /// Long-lived incremental cost cache shared by every plan and drift
+  /// evaluation this manager runs. Guarded by the busy token, not
+  /// mutex_: only the token holder may touch it, and holding the token
+  /// never requires holding the mutex.
+  planner::IncrementalCostModel cost_cache_ DPHIST_GUARDED_BY(busy_cap_);
+
+  mutable Mutex mutex_;
+  CondVar work_cv_;  // wakes the worker
+  CondVar idle_cv_;  // wakes Drain/ReplanNow waiters
+  bool stop_ DPHIST_GUARDED_BY(mutex_) = false;
+  bool request_pending_ DPHIST_GUARDED_BY(mutex_) = false;
+  ReplanTrigger request_trigger_ DPHIST_GUARDED_BY(mutex_) =
+      ReplanTrigger::kManual;
+  /// A replan is executing (worker or sync caller); runtime twin of
+  /// busy_cap_.
+  bool busy_ DPHIST_GUARDED_BY(mutex_) = false;
   /// Per-subscriber undelivered outcomes; every recorded outcome is
   /// appended to every queue (minus the skip id), bounded at
   /// kMaxQueuedPerSubscriber by dropping the oldest.
-  std::map<SubscriberId, std::deque<ReplanOutcome>> subscribers_;
-  SubscriberId next_subscriber_ = 1;
+  std::map<SubscriberId, std::deque<ReplanOutcome>> subscribers_
+      DPHIST_GUARDED_BY(mutex_);
+  SubscriberId next_subscriber_ DPHIST_GUARDED_BY(mutex_) = 1;
   /// Copied out under mutex_ and invoked unlocked after each broadcast.
-  std::function<void()> announcement_notifier_;
+  std::function<void()> announcement_notifier_ DPHIST_GUARDED_BY(mutex_);
   /// Unlocked notifier calls currently executing. SetAnnouncementNotifier
   /// waits for zero before swapping, so unhooking guarantees the old
   /// callback is not (and will never again be) mid-call — the caller may
   /// free whatever it touches.
-  int notifier_calls_in_flight_ = 0;
-  Stats stats_;
-  PrivacyAccountant accountant_;
+  int notifier_calls_in_flight_ DPHIST_GUARDED_BY(mutex_) = 0;
+  Stats stats_ DPHIST_GUARDED_BY(mutex_);
+  PrivacyAccountant accountant_ DPHIST_GUARDED_BY(mutex_);
   /// Observed-query counts anchoring the every-N and drift triggers.
-  std::uint64_t count_at_last_publish_ = 0;
-  std::uint64_t count_at_last_drift_check_ = 0;
-  Rng seed_rng_;
+  std::uint64_t count_at_last_publish_ DPHIST_GUARDED_BY(mutex_) = 0;
+  std::uint64_t count_at_last_drift_check_ DPHIST_GUARDED_BY(mutex_) = 0;
+  Rng seed_rng_ DPHIST_GUARDED_BY(mutex_);
   /// The planner profile recovered from the store, used by replans while
   /// the observed workload is still empty. Mutated under the busy token.
-  std::optional<planner::WorkloadProfile> recovered_profile_;
+  std::optional<planner::WorkloadProfile> recovered_profile_
+      DPHIST_GUARDED_BY(busy_cap_);
   std::thread worker_;  // running only when options_.async
 };
 

@@ -208,8 +208,9 @@ struct SessionPool::Worker {
   Poller poller;
   int wake_read = -1;
   int wake_write = -1;
-  std::mutex mutex;               // guards incoming only
-  std::deque<int> incoming;       // adopted fds waiting to join the loop
+  Mutex mutex;
+  std::deque<int> incoming        // adopted fds waiting to join the loop
+      DPHIST_GUARDED_BY(mutex);
   std::atomic<bool> announce{false};
   std::map<int, std::unique_ptr<Conn>> conns;  // owned by the loop thread
 
@@ -232,7 +233,7 @@ SessionPool::SessionPool(QueryService& service, EpochManager& manager,
 SessionPool::~SessionPool() { Stop(); }
 
 Status SessionPool::Start() {
-  std::lock_guard<std::mutex> lock(start_mutex_);
+  MutexLock lock(start_mutex_);
   if (started_) return Status::FailedPrecondition("pool already started");
   const int worker_count = std::max(1, options_.workers);
   workers_.reserve(static_cast<std::size_t>(worker_count));
@@ -260,6 +261,7 @@ Status SessionPool::Start() {
 }
 
 bool SessionPool::Adopt(int fd) {
+  MutexLock lock(start_mutex_);
   if (stopping_.load(std::memory_order_acquire) || workers_.empty()) {
     ::close(fd);
     return false;
@@ -269,7 +271,7 @@ bool SessionPool::Adopt(int fd) {
       next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   Worker& worker = *workers_[index];
   {
-    std::lock_guard<std::mutex> lock(worker.mutex);
+    MutexLock worker_lock(worker.mutex);
     worker.incoming.push_back(fd);
   }
   active_.fetch_add(1, std::memory_order_relaxed);
@@ -278,6 +280,7 @@ bool SessionPool::Adopt(int fd) {
 }
 
 void SessionPool::NotifyAnnouncements() {
+  MutexLock lock(start_mutex_);
   for (auto& worker : workers_) {
     worker->announce.store(true, std::memory_order_release);
     worker->Wake();
@@ -285,10 +288,12 @@ void SessionPool::NotifyAnnouncements() {
 }
 
 void SessionPool::Stop() {
-  {
-    std::lock_guard<std::mutex> lock(start_mutex_);
-    if (!started_) return;
-  }
+  // Joining under start_mutex_ makes Stop safe against itself and the
+  // destructor: exactly one caller performs each join, any other blocks
+  // until the joins finish and then sees non-joinable threads. Worker
+  // loops never take start_mutex_, so the joins cannot deadlock.
+  MutexLock lock(start_mutex_);
+  if (!started_) return;
   if (!stopping_.exchange(true)) {
     for (auto& worker : workers_) worker->Wake();
   }
@@ -794,7 +799,7 @@ void SessionPool::WorkerLoop(Worker& worker) {
       // Adopt newly assigned connections.
       std::deque<int> incoming;
       {
-        std::lock_guard<std::mutex> lock(worker.mutex);
+        MutexLock lock(worker.mutex);
         incoming.swap(worker.incoming);
       }
       for (int fd : incoming) {
@@ -827,6 +832,23 @@ void SessionPool::WorkerLoop(Worker& worker) {
   // completion (accepted == completed is the server's join condition).
   for (auto& [fd, conn] : worker.conns) finish_conn(*conn);
   worker.conns.clear();
+
+  // Connections adopted but never picked up (Stop won the race against
+  // this worker's wake) must be closed and reported too, or the
+  // server's accepted == completed join would wait forever on sessions
+  // that no longer exist. No new adoptions can arrive concurrently:
+  // Adopt refuses once Stop has set stopping_, and both run under
+  // start_mutex_.
+  std::deque<int> orphaned;
+  {
+    MutexLock lock(worker.mutex);
+    orphaned.swap(worker.incoming);
+  }
+  for (int fd : orphaned) {
+    ::close(fd);
+    active_.fetch_sub(1, std::memory_order_relaxed);
+    if (options_.on_session_done) options_.on_session_done(SessionDone{});
+  }
 }
 
 }  // namespace dphist::runtime

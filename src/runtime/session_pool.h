@@ -43,13 +43,14 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "runtime/epoch_manager.h"
 #include "runtime/serving_loop.h"
 #include "service/query_service.h"
@@ -124,12 +125,19 @@ class SessionPool {
   QueryService& service_;
   EpochManager& manager_;
   const SessionPoolOptions options_;
-  std::vector<std::unique_ptr<Worker>> workers_;
+  Mutex start_mutex_;
+  /// Created by Start, joined by Stop — both under start_mutex_, so a
+  /// Stop racing another Stop (or the destructor) can never join the
+  /// same std::thread twice, and an Adopt racing Start can never read a
+  /// half-built vector. Worker loops never touch this vector (each gets
+  /// its own Worker& at spawn), so holding the lock across the joins
+  /// cannot deadlock.
+  std::vector<std::unique_ptr<Worker>> workers_
+      DPHIST_GUARDED_BY(start_mutex_);
   std::atomic<std::uint64_t> next_worker_{0};
   std::atomic<std::int64_t> active_{0};
   std::atomic<bool> stopping_{false};
-  std::mutex start_mutex_;
-  bool started_ = false;
+  bool started_ DPHIST_GUARDED_BY(start_mutex_) = false;
 };
 
 /// Constant-time equality for secrets: the comparison time depends only

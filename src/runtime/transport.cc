@@ -254,7 +254,7 @@ SocketServer::SocketServer(QueryService& service, EpochManager& manager,
 SocketServer::~SocketServer() { Stop(); }
 
 Status SocketServer::Start() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (started_) return Status::FailedPrecondition("already started");
   if (options_.port < 0 || options_.port > 65535) {
     return Status::InvalidArgument("port must be in [0, 65535]");
@@ -294,7 +294,7 @@ Status SocketServer::Start() {
   pool_options.auth_token = options_.auth_token;
   pool_options.on_session_done = [this](const SessionDone& done) {
     {
-      std::lock_guard<std::mutex> agg_lock(mutex_);
+      MutexLock agg_lock(mutex_);
       stats_.completed += 1;
       stats_.queries += done.summary.queries;
       stats_.batches += done.summary.batches;
@@ -311,7 +311,7 @@ Status SocketServer::Start() {
       }
       if (!done.status.ok()) stats_.session_errors += 1;
     }
-    state_cv_.notify_all();
+    state_cv_.NotifyAll();
   };
   pool_ = std::make_unique<SessionPool>(service_, manager_, pool_options);
   Status pool_status = pool_->Start();
@@ -335,16 +335,23 @@ Status SocketServer::Start() {
 }
 
 int SocketServer::port() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return port_;
 }
 
 void SocketServer::AcceptLoop() {
+  SessionPool* pool;
+  {
+    // One snapshot for the thread's lifetime: pool_ is set before this
+    // thread is spawned and reset only after Stop() has joined it.
+    MutexLock lock(mutex_);
+    pool = pool_.get();
+  }
   std::int64_t accepted = 0;
   while (true) {
     int listen_fd;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) break;
       if (options_.max_sessions > 0 && accepted >= options_.max_sessions) {
         break;
@@ -372,63 +379,67 @@ void SocketServer::AcceptLoop() {
     {
       // Count before handing off: a session may complete before we get
       // the lock back, and completed must never exceed accepted.
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) {
         ::close(fd);
         break;
       }
       stats_.accepted += 1;
     }
-    if (!pool_->Adopt(fd)) {
+    if (!pool->Adopt(fd)) {
       // The pool is stopping; the fd is already closed.
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stats_.accepted -= 1;
       break;
     }
     ++accepted;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (listen_fd_ >= 0) {
       ::close(listen_fd_);
       listen_fd_ = -1;
     }
     accept_done_ = true;
   }
-  state_cv_.notify_all();
+  state_cv_.NotifyAll();
 }
 
 void SocketServer::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!started_) return;
     stopping_ = true;
   }
   std::thread acceptor;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    state_cv_.wait(lock, [this] { return accept_done_; });
+    MutexLock lock(mutex_);
+    while (!accept_done_) state_cv_.Wait(mutex_);
     acceptor.swap(accept_thread_);
   }
   if (acceptor.joinable()) acceptor.join();
   // Unhook the push notifier before tearing the pool down so a replan
   // completing mid-stop never touches joined workers.
   manager_.SetAnnouncementNotifier(nullptr);
-  if (pool_ != nullptr) pool_->Stop();  // idempotent; fires callbacks
-  std::unique_lock<std::mutex> lock(mutex_);
-  state_cv_.wait(lock,
-                 [this] { return stats_.completed >= stats_.accepted; });
+  SessionPool* pool;
+  {
+    MutexLock lock(mutex_);
+    pool = pool_.get();
+  }
+  if (pool != nullptr) pool->Stop();  // idempotent; fires callbacks
+  MutexLock lock(mutex_);
+  while (stats_.completed < stats_.accepted) state_cv_.Wait(mutex_);
 }
 
 void SocketServer::WaitUntilStopped() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  state_cv_.wait(lock, [this] {
-    return accept_done_ && stats_.completed >= stats_.accepted;
-  });
+  MutexLock lock(mutex_);
+  while (!accept_done_ || stats_.completed < stats_.accepted) {
+    state_cv_.Wait(mutex_);
+  }
 }
 
 SocketServer::Stats SocketServer::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

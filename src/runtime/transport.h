@@ -37,17 +37,17 @@
 #define DPHIST_RUNTIME_TRANSPORT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <istream>
 #include <memory>
-#include <mutex>
 #include <streambuf>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "runtime/epoch_manager.h"
 #include "runtime/serving_loop.h"
 #include "runtime/session_pool.h"
@@ -264,19 +264,23 @@ class SocketServer {
   QueryService& service_;
   EpochManager& manager_;
   const TransportOptions options_;
-  std::unique_ptr<SessionPool> pool_;
 
-  mutable std::mutex mutex_;
-  int listen_fd_ = -1;
-  int port_ = 0;
-  bool stopping_ = false;
-  bool started_ = false;
+  mutable Mutex mutex_;
+  /// Created by Start() and never replaced while the accept loop or the
+  /// workers run; users snapshot the raw pointer under mutex_ and call
+  /// it unlocked (SessionPool is itself thread-safe).
+  std::unique_ptr<SessionPool> pool_ DPHIST_GUARDED_BY(mutex_);
+  int listen_fd_ DPHIST_GUARDED_BY(mutex_) = -1;
+  int port_ DPHIST_GUARDED_BY(mutex_) = 0;
+  bool stopping_ DPHIST_GUARDED_BY(mutex_) = false;
+  bool started_ DPHIST_GUARDED_BY(mutex_) = false;
   /// True once the accept loop has exited (and before Start()), so
   /// waiters never block on a loop that was never started.
-  bool accept_done_ = true;
-  std::condition_variable state_cv_;
-  std::thread accept_thread_;
-  Stats stats_;
+  bool accept_done_ DPHIST_GUARDED_BY(mutex_) = true;
+  CondVar state_cv_;
+  /// Assigned by Start, swapped out (for the join) by exactly one Stop.
+  std::thread accept_thread_ DPHIST_GUARDED_BY(mutex_);
+  Stats stats_ DPHIST_GUARDED_BY(mutex_);
 };
 
 }  // namespace dphist::runtime

@@ -64,7 +64,7 @@ bool AnswerCache::Lookup(std::uint64_t epoch, const Interval& range,
   const Key key{epoch, range.lo(), range.hi()};
   Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -82,7 +82,7 @@ void AnswerCache::Insert(std::uint64_t epoch, const Interval& range,
   if (capacity_ == 0) return;
   const Key key{epoch, range.lo(), range.hi()};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Benign double-compute race: same immutable snapshot, same answer.
@@ -122,7 +122,7 @@ void AnswerCache::LookupMany(std::uint64_t epoch, const Interval* ranges,
     for (std::size_t i = 0; i < chunk; ++i) {
       if (done[i]) continue;
       Shard& shard = shards_[shard_of[i]];
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      MutexLock lock(shard.mutex);
       for (std::size_t j = i; j < chunk; ++j) {
         if (done[j] || shard_of[j] != shard_of[i]) continue;
         done[j] = true;
@@ -162,7 +162,7 @@ void AnswerCache::InsertMany(std::uint64_t epoch, const Interval* ranges,
     for (std::size_t i = 0; i < chunk; ++i) {
       if (done[i]) continue;
       Shard& shard = shards_[shard_of[i]];
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      MutexLock lock(shard.mutex);
       for (std::size_t j = i; j < chunk; ++j) {
         if (done[j] || shard_of[j] != shard_of[i]) continue;
         done[j] = true;
@@ -196,7 +196,7 @@ std::int64_t AnswerCache::EvictOlderEpochs(std::uint64_t epoch) {
   std::int64_t dropped = 0;
   for (std::size_t s = 0; s <= shard_mask_; ++s) {
     Shard& shard = shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
       if (it->key.epoch < epoch) {
         shard.index.erase(it->key);
@@ -214,7 +214,7 @@ std::int64_t AnswerCache::EvictOlderEpochs(std::uint64_t epoch) {
 
 void AnswerCache::Clear() {
   for (std::size_t s = 0; s <= shard_mask_; ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    MutexLock lock(shards_[s].mutex);
     shards_[s].lru.clear();
     shards_[s].index.clear();
   }
@@ -223,7 +223,7 @@ void AnswerCache::Clear() {
 std::int64_t AnswerCache::size() const {
   std::int64_t total = 0;
   for (std::size_t s = 0; s <= shard_mask_; ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    MutexLock lock(shards_[s].mutex);
     total += static_cast<std::int64_t>(shards_[s].lru.size());
   }
   return total;

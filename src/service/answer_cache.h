@@ -22,9 +22,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "domain/interval.h"
 
 namespace dphist {
@@ -118,10 +119,11 @@ class AnswerCache {
     double answer;
   };
   struct Shard {
-    std::mutex mutex;
+    Mutex mutex;
     /// Front = most recently used.
-    std::list<Entry> lru;
-    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+    std::list<Entry> lru DPHIST_GUARDED_BY(mutex);
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index
+        DPHIST_GUARDED_BY(mutex);
   };
 
   Shard& ShardFor(const Key& key);

@@ -48,17 +48,40 @@ Result<QueryService::PendingPublish> QueryService::BuildForPublish(
     if (!planned.ok()) return planned.status();
     resolved = planned.value();
   }
-  // Serializing publishers keeps epoch order equal to publish order; the
-  // expensive Build happens inside this writer-only lock, which readers
-  // never touch. The lock rides inside the PendingPublish until it is
-  // committed or abandoned.
-  std::unique_lock<std::mutex> lock(publish_mutex_);
-  const std::uint64_t epoch = last_epoch_ + 1;
+  // Serializing publishers keeps epoch order equal to publish order;
+  // the expensive Build happens under the publish token (not the
+  // mutex), which readers never touch. The token rides inside the
+  // PendingPublish until it is committed or abandoned.
+  const std::uint64_t epoch = AcquirePublishToken();
   Rng rng(seed);
   Result<std::shared_ptr<const Snapshot>> built =
       Snapshot::Build(data, resolved, epoch, &rng);
-  if (!built.ok()) return built.status();
-  return PendingPublish(this, std::move(lock), std::move(built).value());
+  if (!built.ok()) {
+    ReleasePublishToken();
+    return built.status();
+  }
+  return PendingPublish(this, std::move(built).value());
+}
+
+std::uint64_t QueryService::AcquirePublishToken() {
+  MutexLock lock(publish_mutex_);
+  while (publishing_) publish_cv_.Wait(publish_mutex_);
+  publishing_ = true;
+  return last_epoch_ + 1;
+}
+
+void QueryService::ReleasePublishToken() {
+  {
+    MutexLock lock(publish_mutex_);
+    publishing_ = false;
+  }
+  publish_cv_.NotifyOne();
+}
+
+void QueryService::PendingPublish::Abandon() {
+  if (service_ == nullptr) return;
+  service_->ReleasePublishToken();
+  service_ = nullptr;
 }
 
 std::shared_ptr<const Snapshot> QueryService::CommitPublish(
@@ -66,7 +89,10 @@ std::shared_ptr<const Snapshot> QueryService::CommitPublish(
   DPHIST_CHECK_MSG(pending.service_ == this && pending.snapshot_ != nullptr,
                    "CommitPublish needs a pending publish from this service");
   const std::uint64_t epoch = pending.snapshot_->epoch();
-  last_epoch_ = epoch;
+  // Swap and purge BEFORE releasing the publish token: the next
+  // publisher may only observe last_epoch_ == epoch once this snapshot
+  // is the one readers see, or its own (newer) swap could be overwritten
+  // by ours.
   snapshot_.store(pending.snapshot_, std::memory_order_release);
   // Entries keyed by older epochs can never be served again (readers
   // that loaded the old snapshot before the swap still look up under the
@@ -75,7 +101,14 @@ std::shared_ptr<const Snapshot> QueryService::CommitPublish(
   // capacity until they age out.
   const std::int64_t evicted = cache_.EvictOlderEpochs(epoch);
   {
-    std::lock_guard<std::mutex> stats_lock(swap_stats_mutex_);
+    MutexLock lock(publish_mutex_);
+    last_epoch_ = epoch;
+    publishing_ = false;
+  }
+  publish_cv_.NotifyOne();
+  pending.service_ = nullptr;  // token released; Abandon must not re-release
+  {
+    MutexLock stats_lock(swap_stats_mutex_);
     swap_stats_.publishes += 1;
     swap_stats_.last_epoch = epoch;
     swap_stats_.last_swap_evictions = evicted;
@@ -98,13 +131,18 @@ Result<std::shared_ptr<const Snapshot>> QueryService::PublishRestored(
   if (snapshot == nullptr) {
     return Status::InvalidArgument("PublishRestored needs a snapshot");
   }
-  std::unique_lock<std::mutex> lock(publish_mutex_);
-  if (snapshot->epoch() <= last_epoch_) {
-    return Status::FailedPrecondition(
-        "recovered epoch " + std::to_string(snapshot->epoch()) +
-        " is not ahead of the current epoch " + std::to_string(last_epoch_));
+  {
+    MutexLock lock(publish_mutex_);
+    while (publishing_) publish_cv_.Wait(publish_mutex_);
+    if (snapshot->epoch() <= last_epoch_) {
+      return Status::FailedPrecondition(
+          "recovered epoch " + std::to_string(snapshot->epoch()) +
+          " is not ahead of the current epoch " +
+          std::to_string(last_epoch_));
+    }
+    publishing_ = true;
   }
-  PendingPublish pending(this, std::move(lock), std::move(snapshot));
+  PendingPublish pending(this, std::move(snapshot));
   return CommitPublish(std::move(pending));
 }
 
@@ -177,7 +215,7 @@ std::uint64_t QueryService::QueryBatchOn(const Snapshot& snap,
     // raw (lo, hi) pairs so a replan from observation can match a
     // replan from the raw workload instead of bucket midpoints.
     ReservoirStripe& res = *reservoirs_[stripe_index];
-    std::lock_guard<std::mutex> lock(res.mutex);
+    MutexLock lock(res.mutex);
     for (std::size_t i = 0; i < count; ++i) res.reservoir.Observe(ranges[i]);
   }
   const engine::AnswerPlan* plan = snap.answer_plan();
@@ -257,7 +295,7 @@ planner::WorkloadProfile QueryService::ObservedWorkload(
     // contributes its sample weighted by its own seen/|sample|, so the
     // merged profile is an unbiased length histogram of the full stream.
     for (const auto& stripe : reservoirs_) {
-      std::lock_guard<std::mutex> lock(stripe->mutex);
+      MutexLock lock(stripe->mutex);
       stripe->reservoir.AddTo(&profile);
     }
     if (!profile.empty()) return profile;
@@ -296,7 +334,7 @@ std::uint64_t QueryService::current_epoch() const {
 }
 
 QueryService::SwapStats QueryService::swap_stats() const {
-  std::lock_guard<std::mutex> lock(swap_stats_mutex_);
+  MutexLock lock(swap_stats_mutex_);
   return swap_stats_;
 }
 

@@ -35,9 +35,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <utility>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "domain/histogram.h"
 #include "domain/interval.h"
 #include "planner/planner.h"
@@ -90,18 +92,33 @@ class QueryService {
       const planner::WorkloadProfile* workload = nullptr);
 
   /// A release that has been built but is not yet visible to readers.
-  /// Holds the publisher lock, so no other publish can interleave
-  /// between building and committing (or abandoning) it. Destroying a
-  /// PendingPublish without committing aborts the publish: the lock is
-  /// released, readers never saw the snapshot, and its epoch number is
-  /// reused by the next publish. The EpochManager threads its durable
-  /// WAL append between BuildForPublish and CommitPublish so the
-  /// in-memory swap becomes visible only after the spend that paid for
-  /// it is on disk.
+  /// Holds the publish token (publishing_), so no other publish can
+  /// interleave between building and committing (or abandoning) it.
+  /// Destroying a PendingPublish without committing aborts the publish:
+  /// the token is released, readers never saw the snapshot, and its
+  /// epoch number is reused by the next publish. The EpochManager
+  /// threads its durable WAL append between BuildForPublish and
+  /// CommitPublish so the in-memory swap becomes visible only after the
+  /// spend that paid for it is on disk.
+  ///
+  /// (A condition token rather than a moved std::unique_lock: each
+  /// critical section stays self-contained, which keeps the serialization
+  /// verifiable by the thread-safety analysis — a lock whose ownership
+  /// travels across function boundaries is invisible to it.)
   class PendingPublish {
    public:
-    PendingPublish(PendingPublish&&) = default;
-    PendingPublish& operator=(PendingPublish&&) = default;
+    PendingPublish(PendingPublish&& other) noexcept
+        : service_(std::exchange(other.service_, nullptr)),
+          snapshot_(std::move(other.snapshot_)) {}
+    PendingPublish& operator=(PendingPublish&& other) noexcept {
+      if (this != &other) {
+        Abandon();
+        service_ = std::exchange(other.service_, nullptr);
+        snapshot_ = std::move(other.snapshot_);
+      }
+      return *this;
+    }
+    ~PendingPublish() { Abandon(); }
 
     const std::shared_ptr<const Snapshot>& snapshot() const {
       return snapshot_;
@@ -110,14 +127,14 @@ class QueryService {
 
    private:
     friend class QueryService;
-    PendingPublish(QueryService* service, std::unique_lock<std::mutex> lock,
+    PendingPublish(QueryService* service,
                    std::shared_ptr<const Snapshot> snapshot)
-        : service_(service),
-          lock_(std::move(lock)),
-          snapshot_(std::move(snapshot)) {}
+        : service_(service), snapshot_(std::move(snapshot)) {}
 
-    QueryService* service_;
-    std::unique_lock<std::mutex> lock_;
+    /// Releases the publish token when still held (uncommitted).
+    void Abandon();
+
+    QueryService* service_;  // null once committed or moved from
     std::shared_ptr<const Snapshot> snapshot_;
   };
 
@@ -218,6 +235,14 @@ class QueryService {
   SwapStats swap_stats() const;
 
  private:
+  /// Blocks until no other publish is in flight and takes the publish
+  /// token; returns the epoch the next publish will use (stable while
+  /// the token is held, because only CommitPublish advances it).
+  std::uint64_t AcquirePublishToken() DPHIST_EXCLUDES(publish_mutex_);
+  /// Releases the token without committing (failed or abandoned build);
+  /// the epoch reserved by Acquire is reused by the next publisher.
+  void ReleasePublishToken() DPHIST_EXCLUDES(publish_mutex_);
+
   /// The answering core shared by QueryBatch and TryQueryBatch, running
   /// against an already-loaded (and validated) snapshot. Cache-miss runs
   /// route through the batch answer engine when the snapshot carries an
@@ -235,13 +260,21 @@ class QueryService {
 
   mutable AnswerCache cache_;
   planner::PlannerOptions planner_options_;
-  /// Serializes publishers so epochs increase in publish order.
-  std::mutex publish_mutex_;
-  std::uint64_t last_epoch_ = 0;
-  /// Guards swap_stats_ alone — publish_mutex_ is held across an entire
-  /// Snapshot::Build, and a stats read must never wait on a build.
-  mutable std::mutex swap_stats_mutex_;
-  SwapStats swap_stats_;
+  /// Serializes publishers so epochs increase in publish order. The
+  /// mutex itself is only held for short flag/epoch updates; the
+  /// publishing_ token is what is held across an entire Snapshot::Build,
+  /// so a builder never blocks anyone who just needs the mutex.
+  Mutex publish_mutex_;
+  CondVar publish_cv_;  // wakes publishers waiting for the token
+  /// The publish token: true while one publisher is building or
+  /// committing. Taken by AcquirePublishToken, released by
+  /// CommitPublish or PendingPublish::Abandon.
+  bool publishing_ DPHIST_GUARDED_BY(publish_mutex_) = false;
+  std::uint64_t last_epoch_ DPHIST_GUARDED_BY(publish_mutex_) = 0;
+  /// Guards swap_stats_ alone — a stats read must never wait on a
+  /// publish in flight.
+  mutable Mutex swap_stats_mutex_;
+  SwapStats swap_stats_ DPHIST_GUARDED_BY(swap_stats_mutex_);
   std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
   /// observed_lengths_[s][b] counts answered queries with
   /// 2^b <= length < 2^(b+1) recorded by stripe s; relaxed increments
@@ -253,8 +286,8 @@ class QueryService {
   /// per counter stripe (same stripe selection), each behind its own
   /// mutex so concurrent readers rarely contend. Null when disabled.
   struct ReservoirStripe {
-    std::mutex mutex;
-    planner::QueryReservoir reservoir;
+    Mutex mutex;
+    planner::QueryReservoir reservoir DPHIST_GUARDED_BY(mutex);
     explicit ReservoirStripe(std::size_t capacity) : reservoir(capacity) {}
   };
   std::array<std::unique_ptr<ReservoirStripe>, kLengthStripes> reservoirs_;

@@ -1,0 +1,8 @@
+// must-fail fixture: factory-status. Linted as src/service/widget.h —
+// a Create factory returning a raw pointer loses the construction
+// error and must be flagged. Never compiled.
+
+class Widget {
+ public:
+  static Widget* Create(int size);
+};

@@ -1,0 +1,11 @@
+// must-fail fixture: hot-alloc. Linted as src/engine/kernels.cc — the
+// naked new, the push_back, and the reserve must all be flagged. Never
+// compiled.
+#include <vector>
+
+void Accumulate(std::vector<double>& out) {
+  out.reserve(16);
+  double* scratch = new double[16];
+  for (int i = 0; i < 16; ++i) out.push_back(scratch[i]);
+  delete[] scratch;
+}

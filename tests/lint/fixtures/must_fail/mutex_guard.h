@@ -1,0 +1,11 @@
+// must-fail fixture: mutex-guard. Linted as src/service/cache.h — the
+// raw std::mutex and the unguarded dphist::Mutex must both be flagged.
+// Never compiled.
+#include <mutex>
+
+class Cache {
+ private:
+  std::mutex legacy_mutex_;
+  Mutex mutex_;
+  int value_ = 0;
+};

@@ -1,0 +1,8 @@
+// must-fail fixture: serving-check. Linted as src/service/handler.cc —
+// both the CHECK and the abort() below must be flagged. Never compiled.
+#include <cstdlib>
+
+void HandleRequest(int size) {
+  DPHIST_CHECK(size >= 0);
+  if (size > 1000) std::abort();
+}

@@ -1,0 +1,6 @@
+// must-fail fixture: tsa-optout. Linted as src/runtime/loop.cc — a
+// blanket thread-safety-analysis opt-out on a serving path must be
+// flagged (use a documented DPHIST_ASSERT_CAPABILITY escape instead).
+// Never compiled.
+
+void DrainQueue() DPHIST_NO_THREAD_SAFETY_ANALYSIS;

@@ -1,0 +1,10 @@
+// must-pass fixture: the inline allow marker. Linted as
+// src/common/worker.cc — a function-local Mutex cannot be GUARDED_BY
+// (the analysis only tracks members), so the marker exempts it. Never
+// compiled.
+
+void Run() {
+  Mutex local_mutex;  // dphist-lint: allow(mutex-guard)
+  local_mutex.Lock();
+  local_mutex.Unlock();
+}

@@ -1,0 +1,8 @@
+// must-pass fixture: comment stripping. Linted as src/service/notes.cc
+// — every banned token below lives in a comment. Never compiled.
+//
+// DPHIST_CHECK would be wrong here; return a Status instead.
+/* std::abort() is banned on serving paths, as is malloc(, and a
+   std::mutex member without GUARDED_BY. */
+
+int placeholder = 0;  // new allocations are fine to *mention*

@@ -1,0 +1,9 @@
+// must-pass fixture: factory-status. Linted as src/service/widget.h —
+// both factories surface construction failure; nothing to flag. Never
+// compiled.
+
+class Widget {
+ public:
+  static Result<Widget> Create(int size);
+  static Status CreateBacking(const char* path);
+};

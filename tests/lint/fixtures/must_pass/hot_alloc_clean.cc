@@ -1,0 +1,6 @@
+// must-pass fixture: hot-alloc. Linted as src/engine/kernels.cc —
+// fixed-buffer arithmetic only; nothing to flag. Never compiled.
+
+void Accumulate(double* out, const double* in, int n) {
+  for (int i = 0; i < n; ++i) out[i] += in[i];
+}

@@ -1,0 +1,9 @@
+// must-pass fixture: mutex-guard. Linted as src/service/cache.h — an
+// annotated Mutex with a GUARDED_BY sibling; nothing to flag. Never
+// compiled.
+
+class Cache {
+ private:
+  Mutex mutex_;
+  int value_ DPHIST_GUARDED_BY(mutex_) = 0;
+};

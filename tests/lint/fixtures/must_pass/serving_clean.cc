@@ -1,0 +1,10 @@
+// must-pass fixture: serving-check. Linted as src/service/handler.cc —
+// graceful degradation via Status; nothing to flag. Never compiled.
+#include "common/status.h"
+
+dphist::Status HandleRequest(int size) {
+  if (size < 0) {
+    return dphist::Status::InvalidArgument("negative request size");
+  }
+  return dphist::Status::Ok();
+}

@@ -1,0 +1,175 @@
+// Regression tests for two shutdown races found by the thread-safety
+// annotation pass (and fixed by taking start_mutex_ / mutex_ across the
+// joins):
+//
+//   1. SessionPool::Stop used to check `stopping_` and then join the
+//      workers without holding start_mutex_, so two concurrent Stop()
+//      calls (or Stop racing the destructor) could both find the worker
+//      threads joinable and both call std::thread::join on the same
+//      thread — undefined behavior. Stop now holds start_mutex_ across
+//      the joins: exactly one caller joins, every other blocks until
+//      the joins finish and then sees non-joinable threads.
+//
+//   2. SocketServer::Stop had the same shape around the accept thread
+//      (and read pool_ without the mutex); it now swaps the accept
+//      thread out under mutex_, so exactly one Stop performs the join.
+//
+// The suite names ride the existing TSan CI filter
+// (SessionPoolTransportTest.* / SocketTransportTest.*), so both races
+// are also exercised under the race detector.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/zipf.h"
+#include "domain/histogram.h"
+#include "runtime/epoch_manager.h"
+#include "runtime/session_pool.h"
+#include "runtime/transport.h"
+#include "service/query_service.h"
+
+namespace dphist::runtime {
+namespace {
+
+Histogram ShutdownTestData(std::int64_t n) {
+  Rng rng(23);
+  return Histogram::FromCounts(ZipfCounts(n, 1.3, 6 * n, &rng));
+}
+
+struct PublishedRuntime {
+  PublishedRuntime()
+      : data(ShutdownTestData(64)), manager(&service, data, Options(), 7) {
+    auto initial = manager.PublishInitial();
+    EXPECT_TRUE(initial.ok());
+  }
+  static EpochManagerOptions Options() {
+    EpochManagerOptions options;
+    options.base.strategy = StrategyKind::kHBar;
+    options.base.epsilon = 400.0;
+    return options;
+  }
+  QueryService service;
+  Histogram data;
+  EpochManager manager;
+};
+
+TEST(SessionPoolTransportTest, ConcurrentStopsJoinWorkersExactlyOnce) {
+  PublishedRuntime rt;
+  SessionPoolOptions options;
+  options.workers = 2;
+  SessionPool pool(rt.service, rt.manager, options);
+  ASSERT_TRUE(pool.Start().ok());
+
+  // A live connection so Stop has something to force-close. The client
+  // end stays open in this test: a forced Stop must not need the peer's
+  // cooperation.
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(pool.Adopt(fds[0]));
+
+  // Before the fix, two of these threads could both observe joinable
+  // workers and both join the same std::thread (UB — typically
+  // std::terminate). With the joins under start_mutex_, one thread
+  // joins and the rest block until shutdown completes.
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&pool] { pool.Stop(); });
+  }
+  for (std::thread& t : stoppers) t.join();
+
+  // Adoption after Stop is refused (and the fd closed by the pool).
+  int more[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, more), 0);
+  EXPECT_FALSE(pool.Adopt(more[0]));
+  close(more[1]);
+  close(fds[1]);
+  EXPECT_EQ(pool.active_connections(), 0);
+  // The destructor is one more concurrent-in-spirit Stop: idempotent.
+}
+
+TEST(SessionPoolTransportTest, StopRacingAdoptNeverLeaksAConnection) {
+  PublishedRuntime rt;
+  SessionPoolOptions options;
+  options.workers = 2;
+  std::atomic<int> closed{0};
+  options.on_session_done = [&closed](const SessionDone&) { ++closed; };
+  SessionPool pool(rt.service, rt.manager, options);
+  ASSERT_TRUE(pool.Start().ok());
+
+  // Adopt from one thread while another stops: every fd must end up
+  // either refused (Adopt returned false, fd closed by the pool) or
+  // force-closed with its on_session_done fired — never leaked.
+  constexpr int kConns = 16;
+  int client_fds[kConns];
+  for (int& fd : client_fds) fd = -1;
+  std::atomic<int> adopted{0};
+  std::thread adopter([&] {
+    for (int i = 0; i < kConns; ++i) {
+      int pair[2];
+      if (socketpair(AF_UNIX, SOCK_STREAM, 0, pair) != 0) {
+        ADD_FAILURE() << "socketpair failed";
+        return;
+      }
+      client_fds[i] = pair[1];
+      if (pool.Adopt(pair[0])) ++adopted;
+    }
+  });
+  std::thread stopper([&pool] { pool.Stop(); });
+  adopter.join();
+  stopper.join();
+
+  pool.Stop();  // idempotent after the race
+  EXPECT_EQ(closed.load(), adopted.load());
+  EXPECT_EQ(pool.active_connections(), 0);
+  for (int fd : client_fds) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+TEST(SocketTransportTest, ConcurrentServerStopsAndWaitersAreSafe) {
+  PublishedRuntime rt;
+  TransportOptions transport;
+  transport.port = 0;
+  transport.workers = 2;
+  SocketServer server(rt.service, rt.manager, transport);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  // One complete session so the stats below have something to count.
+  auto stream = ConnectLoopback(server.port());
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  *stream.value() << "q 0 5\nquit\n";
+  stream.value()->flush();
+  std::string line;
+  while (std::getline(*stream.value(), line)) {
+  }
+
+  // Before the fix, concurrent Stop() calls could both join the accept
+  // thread. Waiters mixed in verify Stop and WaitUntilStopped compose.
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&server] { server.Stop(); });
+  }
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([&server] { server.WaitUntilStopped(); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const SocketServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.completed, stats.accepted);
+  EXPECT_EQ(stats.session_errors, 0u);
+  // Destructor performs one more Stop: idempotent.
+}
+
+}  // namespace
+}  // namespace dphist::runtime

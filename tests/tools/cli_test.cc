@@ -701,6 +701,31 @@ TEST(CliTest, ServeListenValidatesFlags) {
   std::remove(data_path.c_str());
 }
 
+TEST(CliTest, LintVerbIsCleanAgainstCommittedBaseline) {
+  // Regression: the verb once crashed on flag parsing before linting a
+  // single file, so this exercises the full path — tree walk, baseline
+  // application, per-rule table — through the real CLI entry point.
+  std::string out, err;
+  EXPECT_EQ(RunMain({"lint", "--root", DPHIST_SOURCE_DIR}, &out, &err), 0)
+      << err;
+  EXPECT_NE(out.find("serving-check"), std::string::npos) << out;
+  EXPECT_NE(out.find("files scanned"), std::string::npos) << out;
+}
+
+TEST(CliTest, LintVerbFailsWithoutBaseline) {
+  // Pointing at an empty baseline exposes the pre-existing debt as
+  // fresh findings: non-zero exit and a count in the error.
+  const std::string empty = TempPath("empty_baseline.txt");
+  { std::ofstream touch(empty); }
+  std::string out, err;
+  EXPECT_EQ(RunMain({"lint", "--root", DPHIST_SOURCE_DIR, "--baseline",
+                     empty.c_str()},
+                    &out, &err),
+            1);
+  EXPECT_NE(err.find("fresh finding"), std::string::npos) << err;
+  EXPECT_NE(out.find("[serving-check]"), std::string::npos) << out;
+}
+
 TEST(CliTest, MissingInputFileSurfacesIoError) {
   std::string out, err;
   EXPECT_EQ(RunMain({"release-sorted", "--input",

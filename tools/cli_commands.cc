@@ -29,6 +29,7 @@
 #include "runtime/transport.h"
 #include "service/query_service.h"
 #include "storage/epoch_store.h"
+#include "tools/lint/lint.h"
 
 namespace dphist::cli {
 namespace {
@@ -82,7 +83,13 @@ constexpr char kUsage[] =
     "  recover           --state-dir D [--inspect]\n"
     "                    (replay a serve --state-dir directory offline:\n"
     "                     ledger total, last epoch, persisted snapshot;\n"
-    "                     --inspect lists every WAL spend record)\n";
+    "                     --inspect lists every WAL spend record)\n"
+    "  lint              [--root D] [--config P] [--baseline P]\n"
+    "                    [--write-baseline] [--summary-md P]\n"
+    "                    (repo invariant checker over root/src: serving-\n"
+    "                     path asserts, hot-file allocations, unguarded\n"
+    "                     mutexes, non-Status factories; ratcheted\n"
+    "                     baseline — see tools/lint/lint.h)\n";
 
 Status RequireFlag(const Flags& flags, const std::string& name) {
   if (!flags.Has(name)) {
@@ -840,6 +847,72 @@ Status RunRecover(const Flags& flags, std::ostream& out) {
   return Status::Ok();
 }
 
+Status RunLint(const Flags& flags, std::ostream& out) {
+  const std::string root = flags.GetString("root", ".");
+  lint::Config config;
+  std::string error;
+  std::string config_path = flags.GetString("config", "");
+  if (config_path.empty()) {
+    const std::string candidate = root + "/tools/lint/dphist_lint.conf";
+    if (std::ifstream(candidate)) config_path = candidate;
+  }
+  if (!config_path.empty() &&
+      !lint::LoadConfig(config_path, &config, &error)) {
+    return Status::InvalidArgument(error);
+  }
+
+  std::vector<lint::Finding> findings;
+  std::size_t files_scanned = 0;
+  if (!lint::LintTree(root, config, &findings, &error, &files_scanned)) {
+    return Status::IoError(error);
+  }
+
+  const std::string baseline_path =
+      flags.GetString("baseline", root + "/" + config.baseline);
+
+  if (flags.GetBool("write-baseline", false)) {
+    std::ofstream baseline_out(baseline_path, std::ios::trunc);
+    if (!baseline_out) {
+      return Status::IoError("cannot write " + baseline_path);
+    }
+    baseline_out << lint::FormatBaseline(findings);
+    out << "wrote " << findings.size() << " baseline entries to "
+        << baseline_path << "\n";
+    return Status::Ok();
+  }
+
+  std::vector<std::string> baseline_keys;
+  if (!lint::LoadBaseline(baseline_path, &baseline_keys, &error)) {
+    return Status::IoError(error);
+  }
+  lint::Report report = lint::ApplyBaseline(findings, baseline_keys);
+  report.files_scanned = files_scanned;
+
+  for (const lint::Finding& finding : report.fresh) {
+    out << finding.file << ":" << finding.line << ": [" << finding.rule
+        << "] " << finding.message << "\n    " << finding.snippet << "\n";
+  }
+  for (const std::string& key : report.stale) {
+    out << "stale baseline entry: " << key << "\n";
+  }
+  out << lint::FormatTable(report);
+
+  const std::string summary_md = flags.GetString("summary-md", "");
+  if (!summary_md.empty()) {
+    std::ofstream summary(summary_md, std::ios::app);
+    if (!summary) return Status::IoError("cannot write " + summary_md);
+    summary << lint::FormatMarkdownTable(report);
+  }
+
+  if (!report.fresh.empty() || !report.stale.empty()) {
+    return Status::FailedPrecondition(
+        "lint: " + std::to_string(report.fresh.size()) +
+        " fresh finding(s), " + std::to_string(report.stale.size()) +
+        " stale baseline entr(y/ies)");
+  }
+  return Status::Ok();
+}
+
 int Main(int argc, const char* const* argv, std::istream& in,
          std::ostream& out, std::ostream& err) {
   Flags flags = Flags::Parse(argc, argv);
@@ -865,6 +938,8 @@ int Main(int argc, const char* const* argv, std::istream& in,
     status = RunPlan(flags, out);
   } else if (command == "recover") {
     status = RunRecover(flags, out);
+  } else if (command == "lint") {
+    status = RunLint(flags, out);
   }
   if (!status.ok()) {
     err << "error: " << status.ToString() << "\n";

@@ -82,6 +82,14 @@ Status RunClient(const Flags& flags, std::istream& in, std::ostream& out);
 /// domain size, draws no noise.
 Status RunPlan(const Flags& flags, std::ostream& out);
 
+/// `lint [--root DIR] [--config FILE] [--baseline FILE]
+///  [--write-baseline] [--summary-md FILE]`
+/// Runs the repo invariant checker (tools/lint/) over root/src and
+/// prints fresh findings plus the per-rule count table. Fails
+/// (FailedPrecondition) on fresh findings or stale baseline entries —
+/// the same ratchet the standalone dphist_lint binary enforces in CI.
+Status RunLint(const Flags& flags, std::ostream& out);
+
 /// `recover --state-dir DIR [--inspect]`
 /// Offline replay of a `serve --state-dir` directory: refolds the WAL
 /// ledger exactly as a restarting server would and reports the epsilon
